@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Two-case delivery in action: multiprogramming with clock skew.
+
+Runs the enum workload gang-scheduled against a null application at
+several schedule-quality settings (the Figure 7 experiment, condensed)
+and narrates what the kernel did: how many messages took the direct
+path versus the software-buffered path, why processes entered buffered
+mode, and how much physical memory the virtual buffers ever needed.
+
+Run:  python examples/two_case_demo.py
+"""
+
+from repro import Machine, SimulationConfig
+from repro.apps.enum_puzzle import EnumApplication
+from repro.apps.null_app import NullApplication
+
+
+def run_at_skew(skew: float):
+    config = SimulationConfig(num_nodes=8, skew_fraction=skew,
+                              timeslice=500_000)
+    machine = Machine(config)
+    app = EnumApplication(side=5, num_nodes=8,
+                          max_expansions_per_node=6_000)
+    job = machine.add_job(app)
+    machine.add_job(NullApplication())
+    machine.start()
+    machine.run_until_job_done(job, limit=10_000_000_000)
+    return machine, job
+
+
+def main():
+    print("enum vs null, 8 nodes, 500k-cycle timeslice\n")
+    header = (f"{'skew':>6} {'messages':>9} {'fast':>8} {'buffered':>9} "
+              f"{'buffered%':>9} {'max pages':>9} {'runtime':>12}")
+    print(header)
+    print("-" * len(header))
+    for skew in (0.0, 0.01, 0.05, 0.10, 0.20):
+        machine, job = run_at_skew(skew)
+        tc = job.two_case
+        print(f"{skew:>6.0%} {job.stats.messages_sent:>9,} "
+              f"{tc.fast_messages:>8,} {tc.buffered_messages:>9,} "
+              f"{tc.buffered_fraction:>9.2%} {job.max_buffer_pages():>9} "
+              f"{job.elapsed_cycles:>12,}")
+
+    print("\nwhy the last run entered buffered mode:")
+    for reason, count in sorted(job.two_case.transitions_to_buffered.items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {reason.value:<20} x{count}")
+    print(f"  (returned to fast mode {job.two_case.transitions_to_fast} "
+          f"times; every buffered message was eventually delivered)")
+
+
+if __name__ == "__main__":
+    main()

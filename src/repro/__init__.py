@@ -1,0 +1,32 @@
+"""Reproduction of *Exploiting Two-Case Delivery for Fast Protected Messaging*.
+
+Mackenzie, Kubiatowicz, Frank, Lee, Lee, Agarwal, Kaashoek (HPCA 1998).
+
+The package implements the paper's User Direct Messaging (UDM) model, the
+FUGU network-interface hardware at ISA level, the Glaze operating-system
+mechanisms (two-case delivery, virtual buffering, revocable interrupt
+disable, gang scheduling with skew) and the applications used in the
+paper's evaluation, all on top of a behavioural discrete-event simulator.
+
+Top-level convenience re-exports cover the public API most users need:
+
+>>> from repro import Machine, SimulationConfig
+>>> machine = Machine(SimulationConfig(num_nodes=2))
+"""
+
+from repro.experiments.config import SimulationConfig
+from repro.machine.machine import Machine
+from repro.core.udm import UdmRuntime
+from repro.core.costs import CostModel, AtomicityMode
+from repro.network.message import Message
+
+__all__ = [
+    "SimulationConfig",
+    "Machine",
+    "UdmRuntime",
+    "CostModel",
+    "AtomicityMode",
+    "Message",
+]
+
+__version__ = "1.0.0"

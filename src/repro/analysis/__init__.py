@@ -1,0 +1,18 @@
+"""Run metrics and plain-text report rendering for the benchmarks."""
+
+from repro.analysis.metrics import RunMetrics, collect_metrics, mean
+from repro.analysis.report import render_table, render_series, format_count
+from repro.analysis.trace import MessageTracer, TraceEvent
+from repro.analysis.machine_report import render_machine_report
+
+__all__ = [
+    "RunMetrics",
+    "collect_metrics",
+    "mean",
+    "render_table",
+    "render_series",
+    "format_count",
+    "MessageTracer",
+    "TraceEvent",
+    "render_machine_report",
+]

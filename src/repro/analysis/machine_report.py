@@ -1,0 +1,95 @@
+"""Whole-machine run reports: per-node and per-subsystem statistics.
+
+Aggregates everything the simulator counted — kernel services, NI
+interrupts, fabric traffic, frame pools, scheduler actions — into one
+readable report, the post-run counterpart of the per-message tracer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import render_table
+from repro.machine.machine import Machine
+
+
+def node_rows(machine: Machine) -> List[list]:
+    rows = []
+    for node in machine.nodes:
+        kernel = node.kernel.stats
+        ni = node.ni.stats
+        rows.append([
+            node.node_id,
+            ni.delivered_to_user,
+            ni.delivered_to_kernel,
+            ni.message_available_upcalls,
+            ni.mismatch_interrupts,
+            ni.atomicity_timeouts,
+            kernel.messages_inserted,
+            kernel.context_switches,
+            node.frame_pool.frames_in_use,
+            node.frame_pool.stats.min_free,
+        ])
+    return rows
+
+
+def render_machine_report(machine: Machine) -> str:
+    """The full post-run report as printable text."""
+    sections = []
+    sections.append(render_table(
+        "Per-node activity",
+        ["node", "fast recv", "kernel recv", "upcalls", "mismatch irqs",
+         "timeouts", "buffered ins", "cswitches", "frames used",
+         "min free"],
+        node_rows(machine),
+    ))
+
+    fabric = machine.fabric.stats
+    second = machine.second_network.stats
+    sections.append(render_table(
+        "Interconnect",
+        ["metric", "value"],
+        [
+            ["messages sent", fabric.messages_sent],
+            ["messages delivered", fabric.messages_delivered],
+            ["mean wire latency", round(fabric.mean_latency, 1)],
+            ["words carried", fabric.words_carried],
+            ["sender blocks (no credit)", fabric.sender_blocks],
+            ["second-network messages", second.messages_sent],
+        ],
+    ))
+
+    scheduler = machine.scheduler.stats
+    overflow = machine.overflow.stats
+    sections.append(render_table(
+        "Scheduling and overflow control",
+        ["metric", "value"],
+        [
+            ["gang switches", scheduler.gang_switches],
+            ["suspended-slot skips", scheduler.skipped_suspended],
+            ["gang advisories", scheduler.gang_advisories],
+            ["resynchronized ticks", scheduler.resynced_ticks],
+            ["overflow suspensions", overflow.suspensions],
+            ["frame-pool exhaustions", overflow.exhaustion_events],
+        ],
+    ))
+
+    job_rows = []
+    for job in machine.jobs:
+        tc = job.two_case
+        job_rows.append([
+            job.name,
+            job.stats.messages_sent,
+            tc.fast_messages,
+            tc.buffered_messages,
+            f"{tc.buffered_fraction:.2%}",
+            job.max_buffer_pages(),
+            job.elapsed_cycles if job.finished else "running",
+        ])
+    sections.append(render_table(
+        "Jobs",
+        ["job", "sent", "fast", "buffered", "buffered %", "max pages",
+         "runtime"],
+        job_rows,
+    ))
+    return "\n\n".join(sections)

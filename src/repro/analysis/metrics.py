@@ -1,0 +1,95 @@
+"""Metric extraction from completed runs.
+
+The paper's evaluation reports, per application run: total cycles,
+message counts, the fraction of messages that took the buffered path,
+the high-water physical-page count, and the derived per-node averages
+T_betw (cycles between communication events) and T_hand (cycles per
+handler). :func:`collect_metrics` derives all of them from a finished
+:class:`~repro.glaze.jobs.Job`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, List
+
+from repro.glaze.jobs import Job
+from repro.machine.machine import Machine
+
+
+@dataclass
+class RunMetrics:
+    """Everything the tables and figures need from one run."""
+
+    name: str = ""
+    elapsed_cycles: int = 0
+    messages_sent: int = 0
+    fast_messages: int = 0
+    buffered_messages: int = 0
+    buffered_fraction: float = 0.0
+    max_buffer_pages: int = 0
+    t_betw: float = 0.0
+    t_hand: float = 0.0
+    handler_invocations: int = 0
+    transitions_to_buffered: int = 0
+    transitions_to_fast: int = 0
+    revocations: int = 0
+    page_outs: int = 0
+    overflow_suspensions: int = 0
+
+
+def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
+    """Derive the paper's metrics from a finished job."""
+    elapsed = job.elapsed_cycles
+    if elapsed is None:
+        elapsed = machine.engine.now - (job.start_time or 0)
+    total_msgs = job.stats.messages_sent
+    num_nodes = machine.config.num_nodes
+    # "Average cycles between communication events" is a per-node rate:
+    # elapsed cycles divided by this node's share of the sends.
+    per_node_msgs = total_msgs / num_nodes if num_nodes else 0
+    t_betw = elapsed / per_node_msgs if per_node_msgs else 0.0
+    return RunMetrics(
+        name=job.name,
+        elapsed_cycles=elapsed,
+        messages_sent=total_msgs,
+        fast_messages=job.two_case.fast_messages,
+        buffered_messages=job.two_case.buffered_messages,
+        buffered_fraction=job.two_case.buffered_fraction,
+        max_buffer_pages=job.max_buffer_pages(),
+        t_betw=t_betw,
+        t_hand=job.stats.mean_handler_cycles,
+        handler_invocations=job.stats.handler_invocations,
+        transitions_to_buffered=sum(
+            job.two_case.transitions_to_buffered.values()
+        ),
+        transitions_to_fast=job.two_case.transitions_to_fast,
+        revocations=sum(
+            node.kernel.stats.revocations for node in machine.nodes
+        ),
+        page_outs=sum(
+            node.kernel.stats.page_outs for node in machine.nodes
+        ),
+        overflow_suspensions=machine.overflow.stats.suspensions,
+    )
+
+
+def mean(metrics: Iterable[RunMetrics]) -> RunMetrics:
+    """Average numeric fields across trials (max for high-water marks)."""
+    runs: List[RunMetrics] = list(metrics)
+    if not runs:
+        raise ValueError("no runs to average")
+    out = RunMetrics(name=runs[0].name)
+    count = len(runs)
+    for field in fields(RunMetrics):
+        if field.name == "name":
+            continue
+        values = [getattr(run, field.name) for run in runs]
+        if field.name == "max_buffer_pages":
+            combined = max(values)
+        else:
+            combined = sum(values) / count
+        if field.type == "int":
+            combined = round(combined)
+        setattr(out, field.name, combined)
+    return out

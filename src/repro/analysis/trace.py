@@ -1,0 +1,134 @@
+"""Message lifecycle tracing.
+
+When enabled on a machine, records every message's timeline through the
+system — injection, network delivery, (optionally) buffer insertion and
+extraction, and handler completion — the live-data equivalent of the
+paper's Figure 2 (fast path) and Figure 5 (buffered path) timelines.
+
+Tracing is off by default (zero overhead in the hot paths beyond a
+``None`` check); enable it before starting the machine::
+
+    machine = Machine(config)
+    tracer = machine.enable_tracing()
+    ...run...
+    print(tracer.render_timeline(msg_id))
+    print(tracer.summary())
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class TraceEvent(enum.Enum):
+    INJECT = "inject"                  # committed to the network
+    DELIVER = "deliver"                # entered the NI input queue
+    BUFFER_INSERT = "buffer-insert"    # diverted into the software buffer
+    HANDLED = "handled"                # freed by the application
+
+
+@dataclass
+class TraceRecord:
+    time: int
+    event: TraceEvent
+    msg_id: int
+    node: int
+    detail: str = ""
+
+
+@dataclass
+class MessageTrace:
+    """The assembled lifecycle of one message."""
+
+    msg_id: int
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def time_of(self, event: TraceEvent) -> Optional[int]:
+        for record in self.records:
+            if record.event is event:
+                return record.time
+        return None
+
+    @property
+    def was_buffered(self) -> bool:
+        return self.time_of(TraceEvent.BUFFER_INSERT) is not None
+
+    @property
+    def end_to_end(self) -> Optional[int]:
+        start = self.time_of(TraceEvent.INJECT)
+        end = self.time_of(TraceEvent.HANDLED)
+        if start is None or end is None:
+            return None
+        return end - start
+
+
+class MessageTracer:
+    """Collects :class:`TraceRecord` streams, bounded by ``limit``."""
+
+    def __init__(self, limit: Optional[int] = 100_000) -> None:
+        self.limit = limit
+        self._by_message: Dict[int, MessageTrace] = {}
+        self.records = 0
+        self.dropped = 0
+
+    # -- recording hooks (called from runtime/kernel/fabric) -----------
+    def record(self, time: int, event: TraceEvent, msg_id: int,
+               node: int, detail: str = "") -> None:
+        if self.limit is not None and self.records >= self.limit:
+            self.dropped += 1
+            return
+        trace = self._by_message.get(msg_id)
+        if trace is None:
+            trace = MessageTrace(msg_id)
+            self._by_message[msg_id] = trace
+        trace.records.append(TraceRecord(time, event, msg_id, node,
+                                         detail))
+        self.records += 1
+
+    # -- analysis -------------------------------------------------------
+    def trace_of(self, msg_id: int) -> Optional[MessageTrace]:
+        return self._by_message.get(msg_id)
+
+    def traces(self) -> List[MessageTrace]:
+        return list(self._by_message.values())
+
+    def complete_traces(self) -> List[MessageTrace]:
+        return [t for t in self.traces() if t.end_to_end is not None]
+
+    def mean_latency(self, buffered: Optional[bool] = None) -> float:
+        """Mean inject-to-handled latency; filter by delivery case."""
+        chosen = [
+            t.end_to_end for t in self.complete_traces()
+            if buffered is None or t.was_buffered == buffered
+        ]
+        if not chosen:
+            return 0.0
+        return sum(chosen) / len(chosen)
+
+    def summary(self) -> Dict[str, float]:
+        complete = self.complete_traces()
+        buffered = [t for t in complete if t.was_buffered]
+        return {
+            "messages_traced": len(self._by_message),
+            "complete": len(complete),
+            "buffered": len(buffered),
+            "mean_latency_fast": self.mean_latency(buffered=False),
+            "mean_latency_buffered": self.mean_latency(buffered=True),
+        }
+
+    def render_timeline(self, msg_id: int) -> str:
+        """A Figure 2/5-style text timeline for one message."""
+        trace = self._by_message.get(msg_id)
+        if trace is None:
+            return f"message {msg_id}: no trace"
+        lines = [f"message {msg_id} timeline:"]
+        origin = trace.records[0].time if trace.records else 0
+        for record in trace.records:
+            lines.append(
+                f"  +{record.time - origin:>7} cy  {record.event.value:<14}"
+                f" node {record.node}"
+                + (f"  ({record.detail})" if record.detail else "")
+            )
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Applications used in the paper's evaluation (Table 6 and Section 5.2).
+
+* CRL-based (software shared memory over UDM): :mod:`repro.apps.barnes`,
+  :mod:`repro.apps.water`, :mod:`repro.apps.lu`;
+* native UDM: :mod:`repro.apps.barrier` (synchronizes constantly),
+  :mod:`repro.apps.enum_puzzle` (many unacknowledged messages, rare
+  synchronization);
+* synthetic: :mod:`repro.apps.synth` (synth-N producer/consumer of
+  Section 5.2) and :mod:`repro.apps.null_app` (the multiprogramming
+  partner).
+"""
+
+from repro.apps.base import Application, CollectiveOps
+from repro.apps.null_app import NullApplication
+from repro.apps.barrier import BarrierApplication
+from repro.apps.enum_puzzle import EnumApplication
+from repro.apps.synth import SynthApplication
+from repro.apps.barnes import BarnesApplication
+from repro.apps.water import WaterApplication
+from repro.apps.lu import LuApplication
+
+__all__ = [
+    "Application",
+    "CollectiveOps",
+    "NullApplication",
+    "BarrierApplication",
+    "EnumApplication",
+    "SynthApplication",
+    "BarnesApplication",
+    "WaterApplication",
+    "LuApplication",
+]

@@ -1,0 +1,226 @@
+"""Command-line interface: regenerate any evaluation artifact.
+
+Examples::
+
+    python -m repro table4
+    python -m repro table6 --scale fast
+    python -m repro fig7 --skews 0 0.05 0.2 --trials 1
+    python -m repro fig9 --trials 1
+    python -m repro ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.report import render_series, render_table
+
+
+def _cmd_table4(args) -> None:
+    from repro.experiments.micro import table4_results
+
+    results = table4_results(rounds=args.rounds)
+    rows = []
+    for r in results:
+        fast = r.model.fast
+        rows.append([
+            r.mode.value, fast.send_total, fast.receive_interrupt_total,
+            f"{r.measured_receive_interrupt:.0f}",
+            fast.receive_polling_total,
+        ])
+    print(render_table(
+        "Table 4: null-message fast-path costs (cycles)",
+        ["mode", "send", "recv-int (paper)", "recv-int (measured)",
+         "poll"], rows,
+    ))
+
+
+def _cmd_table5(args) -> None:
+    from repro.experiments.micro import measure_buffered_path
+
+    result = measure_buffered_path(count=args.rounds)
+    print(render_table(
+        "Table 5: software-buffer overheads (cycles)",
+        ["item", "paper", "measured"],
+        [
+            ["minimum buffer-insert handler", 180,
+             f"{result.measured_insert_min:.0f}"],
+            ["maximum handler (w/vmalloc)", 3162,
+             f"{result.measured_insert_vmalloc:.0f}"],
+            ["execute null handler from buffer", 52,
+             f"{result.measured_extract:.0f}"],
+            ["total per buffered message", 232,
+             f"{result.measured_per_message:.0f}"],
+        ],
+    ))
+
+
+def _cmd_table6(args) -> None:
+    from repro.experiments.standalone import table6_rows
+
+    rows = table6_rows(scale=args.scale)
+    print(render_table(
+        "Table 6: standalone application characteristics (8 nodes)",
+        ["app", "model", "cycles", "msgs", "T_betw", "T_betw(paper)",
+         "T_hand", "T_hand(paper)"],
+        [[r.name, r.model, r.metrics.elapsed_cycles,
+          r.metrics.messages_sent, f"{r.metrics.t_betw:.0f}",
+          f"{r.paper['t_betw']:.0f}", f"{r.metrics.t_hand:.0f}",
+          f"{r.paper['t_hand']:.0f}"] for r in rows],
+    ))
+
+
+def _sweep(args):
+    from repro.experiments.multiprog import full_sweep
+
+    return full_sweep(skews=tuple(args.skews), trials=args.trials,
+                      scale=args.scale)
+
+
+def _cmd_fig7(args) -> None:
+    results = _sweep(args)
+    print(render_series(
+        "Figure 7: % messages buffered vs schedule skew",
+        "skew", [f"{s:.0%}" for s in args.skews],
+        [(name, sweep.buffered_percent)
+         for name, sweep in results.items()],
+        y_format="{:.2f}",
+    ))
+    print()
+    print(render_table(
+        "Physical buffer pages (max over nodes and trials)",
+        ["app"] + [f"{s:.0%}" for s in args.skews],
+        [[name] + sweep.max_pages for name, sweep in results.items()],
+    ))
+
+
+def _cmd_fig8(args) -> None:
+    results = _sweep(args)
+    print(render_series(
+        "Figure 8: relative runtime vs schedule skew",
+        "skew", [f"{s:.0%}" for s in args.skews],
+        [(name, sweep.relative_runtime)
+         for name, sweep in results.items()],
+        y_format="{:.3f}",
+    ))
+
+
+def _cmd_fig9(args) -> None:
+    from repro.experiments.synth_sweeps import interval_sweep
+
+    result = interval_sweep(trials=args.trials,
+                            messages_per_node=args.messages)
+    print(render_series(
+        "Figure 9: % buffered vs send interval (synth-N, 1% skew)",
+        result.x_label, result.xs, result.series_pairs(),
+        y_format="{:.2f}",
+    ))
+
+
+def _cmd_fig10(args) -> None:
+    from repro.experiments.synth_sweeps import buffer_cost_sweep
+
+    result = buffer_cost_sweep(trials=args.trials,
+                               messages_per_node=args.messages)
+    print(render_series(
+        "Figure 10: % buffered vs buffered-path cost (T_betw=275)",
+        result.x_label, result.xs, result.series_pairs(),
+        y_format="{:.2f}",
+    ))
+
+
+def _cmd_ablations(args) -> None:
+    from repro.experiments.ablations import (
+        architecture_comparison, bulk_transfer_ablation,
+        queue_depth_ablation, timeout_ablation, two_case_ablation,
+    )
+
+    points = two_case_ablation()
+    print(render_table(
+        "Two-case vs always-buffered (barrier)",
+        ["config", "runtime", "buffered %"],
+        [[p.label, p.metrics.elapsed_cycles,
+          f"{p.metrics.buffered_fraction:.0%}"] for p in points],
+    ))
+    print()
+    points = timeout_ablation()
+    print(render_table(
+        "Atomicity-timeout sweep (barnes vs null, 5% skew)",
+        ["config", "runtime", "buffered %", "revocations"],
+        [[p.label, p.metrics.elapsed_cycles,
+          f"{p.metrics.buffered_fraction:.2%}",
+          p.metrics.revocations] for p in points],
+    ))
+    print()
+    points = queue_depth_ablation()
+    print(render_table(
+        "NI input-queue depth (synth-100)",
+        ["config", "runtime", "max backlog", "sender blocks"],
+        [[p.label, p.metrics.elapsed_cycles,
+          int(p.extra["max_network_backlog"]),
+          int(p.extra["sender_blocks"])] for p in points],
+    ))
+    print()
+    points = architecture_comparison()
+    print(render_table(
+        "Figure 1 architectures (barrier)",
+        ["config", "runtime", "resident pages"],
+        [[p.label, p.metrics.elapsed_cycles,
+          int(p.extra["resident_buffer_pages"])] for p in points],
+    ))
+    print()
+    points = bulk_transfer_ablation()
+    print(render_table(
+        "Fragmented vs bulk-DMA CRL transfers",
+        ["config", "runtime", "messages"],
+        [[p.label, p.metrics.elapsed_cycles,
+          p.metrics.messages_sent] for p in points],
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p4 = sub.add_parser("table4", help="fast-path cycle costs")
+    p4.add_argument("--rounds", type=int, default=300)
+    p4.set_defaults(fn=_cmd_table4)
+
+    p5 = sub.add_parser("table5", help="buffered-path cycle costs")
+    p5.add_argument("--rounds", type=int, default=400)
+    p5.set_defaults(fn=_cmd_table5)
+
+    p6 = sub.add_parser("table6", help="application characteristics")
+    p6.add_argument("--scale", choices=("fast", "bench"), default="bench")
+    p6.set_defaults(fn=_cmd_table6)
+
+    for name, fn in (("fig7", _cmd_fig7), ("fig8", _cmd_fig8)):
+        p = sub.add_parser(name, help="multiprogrammed skew sweep")
+        p.add_argument("--skews", type=float, nargs="+",
+                       default=[0.0, 0.01, 0.02, 0.05, 0.10, 0.20])
+        p.add_argument("--trials", type=int, default=3)
+        p.add_argument("--scale", choices=("fast", "bench"),
+                       default="bench")
+        p.set_defaults(fn=fn)
+
+    for name, fn in (("fig9", _cmd_fig9), ("fig10", _cmd_fig10)):
+        p = sub.add_parser(name, help="synth-N sweep")
+        p.add_argument("--trials", type=int, default=3)
+        p.add_argument("--messages", type=int, default=2000)
+        p.set_defaults(fn=fn)
+
+    pa = sub.add_parser("ablations", help="design-choice ablations")
+    pa.set_defaults(fn=_cmd_ablations)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0

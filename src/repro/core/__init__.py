@@ -1,0 +1,23 @@
+"""The paper's primary contribution: the UDM model with two-case delivery.
+
+* :mod:`repro.core.costs` — the Table 4 / Table 5 cycle-cost model.
+* :mod:`repro.core.udm` — the public UDM API (inject/extract/atomicity)
+  applications program against.
+* :mod:`repro.core.two_case` — the per-job delivery-mode state machine
+  (fast/direct vs software-buffered) and its transition reasons.
+* :mod:`repro.core.atomicity` — revocable-interrupt-disable policy and
+  the buffered-mode (software) emulation of atomicity.
+"""
+
+from repro.core.costs import AtomicityMode, CostModel
+from repro.core.two_case import DeliveryMode, TransitionReason, TwoCaseStats
+from repro.core.udm import UdmRuntime
+
+__all__ = [
+    "AtomicityMode",
+    "CostModel",
+    "DeliveryMode",
+    "TransitionReason",
+    "TwoCaseStats",
+    "UdmRuntime",
+]

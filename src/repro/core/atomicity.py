@@ -1,0 +1,67 @@
+"""User-level atomicity: masks and helpers for the UDM atomicity model.
+
+The UDM model gives user code an explicit, *virtualized* interrupt
+disable (Section 3, "Atomicity Model"): ``beginatom`` starts an atomic
+section with respect to message-available interrupts; ``endatom`` ends
+it. In the fast case these manipulate the NI's UAC register directly; in
+exceptional cases the OS revokes the physical disable and preserves the
+*illusion* of atomicity by buffering messages (Section 4.1, "Revocable
+Interrupt Disable").
+
+This module holds the user-facing mask constants and small composition
+helpers. The enforcement machinery lives in the NI model
+(:mod:`repro.ni`) and the kernel (:mod:`repro.glaze.kernel`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator
+
+from repro.ni.uac import INTERRUPT_DISABLE, TIMER_FORCE, USER_MASK
+
+__all__ = [
+    "INTERRUPT_DISABLE",
+    "TIMER_FORCE",
+    "USER_MASK",
+    "TimeoutPolicy",
+    "atomically",
+]
+
+
+class TimeoutPolicy(enum.Enum):
+    """What the kernel does when the atomicity timer expires.
+
+    * ``REVOKE`` — the paper's FUGU policy: switch from physical to
+      virtual atomicity (buffer messages, preserve the atomic-section
+      illusion, drain after endatom). "The FUGU hardware includes an
+      identical timer but uses it only to let the operating system
+      clear the network."
+    * ``WATCHDOG`` — the Polling Watchdog policy [Maquelin et al.,
+      ISCA 1996] the paper notes "could be implemented in the FUGU
+      system": if polling proves sluggish, the pending message's
+      interrupt fires *despite* the user's interrupt-disable. The
+      programming model becomes interrupt-based — application code may
+      receive an interrupt at any point and cannot rely on the
+      atomicity implicit in a polling model.
+    """
+
+    REVOKE = "revoke"
+    WATCHDOG = "watchdog"
+
+
+def atomically(runtime: Any, body: Callable[[], Generator],
+               mask: int = INTERRUPT_DISABLE) -> Generator:
+    """Run ``body()`` inside an atomic section.
+
+    A structured wrapper over ``beginatom``/``endatom`` guaranteeing the
+    section is exited even if the body raises. Usage::
+
+        result = yield from atomically(rt, lambda: do_work(rt))
+    """
+    yield from runtime.beginatom(mask)
+    try:
+        result = yield from body()
+    finally:
+        yield from runtime.endatom(mask)
+    return result

@@ -1,0 +1,20 @@
+"""CRL: an all-software region-based distributed shared memory over UDM.
+
+A reimplementation (in structure) of the C Region Library [Johnson,
+Kaashoek, Wallach, SOSP 1995] that the paper's Barnes, Water and LU
+applications run on: "CRL presents a message-passing load that is
+representative of coherence protocols ... many low-latency
+request-reply packets mixed with fewer larger data packets."
+
+Applications ``create`` fixed-size regions, then bracket accesses with
+``start_read``/``end_read`` and ``start_write``/``end_write``. Each
+region has a *home* node holding its directory; a home-based
+MSI-style protocol (invalidations, flushes, fragmented data transfers)
+keeps copies coherent, carried entirely by UDM messages and handlers.
+"""
+
+from repro.crl.region import Region, RegionState, HomeState
+from repro.crl.protocol import CrlProtocol
+from repro.crl.api import Crl
+
+__all__ = ["Region", "RegionState", "HomeState", "CrlProtocol", "Crl"]

@@ -1,0 +1,100 @@
+"""The application-facing CRL API.
+
+Mirrors the C Region Library interface (rgn_create, rgn_map,
+rgn_start_read, ...) in generator form::
+
+    crl = Crl(num_nodes=8)
+    crl.create(rid=0, home=0, size_words=64, init=[0.0] * 64)
+
+    # inside an application main thread:
+    yield from crl.start_read(rt, 0)
+    block = crl.data(rt, 0)          # read-only view
+    yield from crl.end_read(rt, 0)
+
+    yield from crl.start_write(rt, 0)
+    block = crl.data(rt, 0)
+    block[3] = 42.0                  # mutate the mapped copy
+    yield from crl.end_write(rt, 0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.core.udm import UdmRuntime
+from repro.crl.protocol import CrlProtocol
+from repro.crl.region import Region
+
+
+class Crl:
+    """One CRL instance per job, shared by its per-node coroutines."""
+
+    def __init__(self, num_nodes: int,
+                 bulk_threshold: Optional[int] = None) -> None:
+        self.protocol = CrlProtocol(num_nodes,
+                                    bulk_threshold=bulk_threshold)
+        self.num_nodes = num_nodes
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+    def create(self, rid: int, home: int, size_words: int,
+               init: Optional[List[Any]] = None) -> Region:
+        """Create a region (call during setup, before the run starts)."""
+        if not 0 <= home < self.num_nodes:
+            raise ValueError(f"home node {home} out of range")
+        return self.protocol.create_region(rid, home, size_words, init)
+
+    def region(self, rid: int) -> Region:
+        return self.protocol.regions[rid]
+
+    # ------------------------------------------------------------------
+    # Mapped data access
+    # ------------------------------------------------------------------
+    def data(self, rt: UdmRuntime, rid: int) -> List[Any]:
+        """The local mapped copy; valid only inside a start/end bracket."""
+        return self.protocol.local_copy(rt.node_index, rid)
+
+    # ------------------------------------------------------------------
+    # Coherence operations
+    # ------------------------------------------------------------------
+    def start_read(self, rt: UdmRuntime, rid: int) -> Generator:
+        yield from self.protocol.start_read(rt, rid)
+
+    def end_read(self, rt: UdmRuntime, rid: int) -> Generator:
+        yield from self.protocol.end_read(rt, rid)
+
+    def start_write(self, rt: UdmRuntime, rid: int) -> Generator:
+        yield from self.protocol.start_write(rt, rid)
+
+    def end_write(self, rt: UdmRuntime, rid: int) -> Generator:
+        yield from self.protocol.end_write(rt, rid)
+
+    # Convenience compositions -----------------------------------------
+    def read_region(self, rt: UdmRuntime, rid: int) -> Generator:
+        """start_read, snapshot the data, end_read; returns the copy."""
+        yield from self.start_read(rt, rid)
+        snapshot = list(self.data(rt, rid))
+        yield from self.end_read(rt, rid)
+        return snapshot
+
+    def write_region(self, rt: UdmRuntime, rid: int,
+                     values: List[Any]) -> Generator:
+        """start_write, overwrite the data, end_write."""
+        yield from self.start_write(rt, rid)
+        data = self.data(rt, rid)
+        if len(values) != len(data):
+            raise ValueError("value length does not match region size")
+        data[:] = values
+        yield from self.end_write(rt, rid)
+
+    @property
+    def stats(self) -> dict:
+        p = self.protocol
+        return {
+            "protocol_messages": p.protocol_messages,
+            "data_fragments": p.data_fragments,
+            "bulk_transfers": p.bulk_transfers,
+            "local_hits": p.local_hits,
+            "remote_misses": p.remote_misses,
+        }

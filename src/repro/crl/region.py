@@ -1,0 +1,102 @@
+"""Regions and per-node coherence state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set
+
+from repro.sim.events import Event
+
+
+class RegionState(enum.Enum):
+    """Coherence state of one region on one (non-directory) node."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class HomeState(enum.Enum):
+    """Directory state at the region's home node."""
+
+    #: No remote copies; the home copy is authoritative.
+    UNOWNED = "unowned"
+    #: Read copies exist at ``sharers``; home copy is valid.
+    SHARED = "shared"
+    #: ``owner`` holds the only (possibly dirty) copy.
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class Region:
+    """Static identity of one region."""
+
+    rid: int
+    home: int
+    size_words: int
+
+    def __post_init__(self) -> None:
+        if self.size_words < 1:
+            raise ValueError("region must hold at least one word")
+
+
+class Directory:
+    """Home-node directory entry for one region."""
+
+    __slots__ = ("state", "sharers", "owner", "busy", "pending",
+                 "inv_acks_needed", "current", "advancing", "recheck")
+
+    def __init__(self) -> None:
+        self.state = HomeState.UNOWNED
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.busy = False
+        #: Queued (kind, requester) operations awaiting the directory.
+        self.pending: List = []
+        self.inv_acks_needed = 0
+        self.current = None
+        #: Re-entrancy guard: the directory state machine may be woken
+        #: by several handlers (inv-acks, flush data, home release)
+        #: while a previous advance is still blocked sending messages;
+        #: ``advancing`` serializes, ``recheck`` queues the wakeup.
+        self.advancing = False
+        self.recheck = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Dir {self.state.value} sharers={sorted(self.sharers)} "
+            f"owner={self.owner} busy={self.busy}>"
+        )
+
+
+class NodeRegionState:
+    """Per-node cached state of one region."""
+
+    __slots__ = ("state", "read_refs", "write_refs", "data", "fetching",
+                 "fetch_done", "frags_received", "pending_invalidate",
+                 "pending_flush")
+
+    def __init__(self) -> None:
+        self.state = RegionState.INVALID
+        self.read_refs = 0
+        self.write_refs = 0
+        self.data: Optional[List[Any]] = None
+        #: True while a miss is outstanding from this node.
+        self.fetching = False
+        self.fetch_done: Optional[Event] = None
+        self.frags_received = 0
+        #: Deferred coherence actions that arrived while the region was
+        #: in use (CRL performs them at the matching end_read/end_write).
+        self.pending_invalidate = False
+        self.pending_flush: Optional[str] = None  # "share" | "invalidate"
+
+    @property
+    def in_use(self) -> bool:
+        return self.read_refs > 0 or self.write_refs > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NodeRegion {self.state.value} r={self.read_refs} "
+            f"w={self.write_refs} fetching={self.fetching}>"
+        )

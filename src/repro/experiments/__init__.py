@@ -1,0 +1,17 @@
+"""Experiment harness: configurations, runners and sweeps.
+
+Each module regenerates one of the paper's evaluation artifacts:
+
+* :mod:`repro.experiments.micro` — Tables 4 and 5 (microbenchmarks);
+* :mod:`repro.experiments.standalone` — Table 6 (application
+  characteristics, standalone on eight nodes);
+* :mod:`repro.experiments.multiprog` — Figures 7 and 8 plus the
+  physical-pages result (applications multiprogrammed against a null
+  application across schedule skews);
+* :mod:`repro.experiments.synth_sweeps` — Figures 9 and 10 (synth-N
+  send-interval and buffer-cost sweeps).
+"""
+
+from repro.experiments.config import SimulationConfig
+
+__all__ = ["SimulationConfig"]

@@ -1,0 +1,229 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three studies, each isolating one element of the paper's argument:
+
+* **two_case_ablation** — disable the fast case entirely (every message
+  through the software buffer, the SUNMOS-style baseline of Section 2)
+  and measure the slowdown two-case delivery avoids;
+* **timeout_ablation** — sweep the atomicity-timer preset ("a free
+  parameter that may be changed without affecting correctness"):
+  correctness must hold at every value while the revocation count and
+  buffered fraction respond;
+* **queue_depth_ablation** — vary the NI hardware input queue depth:
+  a deeper queue absorbs bursts in hardware, shifting backpressure out
+  of the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import RunMetrics, collect_metrics
+from repro.apps.null_app import NullApplication
+from repro.apps.synth import SynthApplication
+from repro.experiments.config import SimulationConfig
+from repro.experiments.workloads import make_workload
+from repro.machine.machine import Machine
+
+
+@dataclass
+class AblationPoint:
+    """One configuration's outcome."""
+
+    label: str
+    metrics: RunMetrics
+    extra: Dict[str, float]
+
+
+def _run(config: SimulationConfig, app) -> tuple:
+    machine = Machine(config)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    return machine, job
+
+
+# ----------------------------------------------------------------------
+# Two-case vs always-buffered
+# ----------------------------------------------------------------------
+def two_case_ablation(workload: str = "barrier", num_nodes: int = 8,
+                      scale: str = "fast") -> List[AblationPoint]:
+    points = []
+    for label, forced in (("two-case", False), ("always-buffered", True)):
+        config = SimulationConfig(num_nodes=num_nodes,
+                                  force_buffered=forced)
+        app = make_workload(workload, seed=1, num_nodes=num_nodes,
+                            scale=scale)
+        machine, job = _run(config, app)
+        metrics = collect_metrics(machine, job)
+        points.append(AblationPoint(
+            label=label, metrics=metrics,
+            extra={"kernel_insert_cycles": sum(
+                node.kernel.stats.insert_cycles
+                for node in machine.nodes)},
+        ))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Atomicity-timeout sweep
+# ----------------------------------------------------------------------
+def timeout_ablation(timeouts: Sequence[int] = (1_000, 5_000, 50_000),
+                     workload: str = "barnes", num_nodes: int = 8,
+                     skew: float = 0.05,
+                     scale: str = "fast") -> List[AblationPoint]:
+    points = []
+    for timeout in timeouts:
+        config = SimulationConfig(num_nodes=num_nodes, skew_fraction=skew,
+                                  atomicity_timeout=timeout,
+                                  timeslice=100_000)
+        machine = Machine(config)
+        app = make_workload(workload, seed=1, num_nodes=num_nodes,
+                            scale=scale)
+        job = machine.add_job(app)
+        machine.add_job(NullApplication())
+        machine.start()
+        machine.run_until_job_done(job, limit=50_000_000_000)
+        metrics = collect_metrics(machine, job)
+        points.append(AblationPoint(
+            label=f"timeout={timeout}", metrics=metrics,
+            extra={"timeout": timeout},
+        ))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Interface architectures: direct two-case vs memory-based (Figure 1)
+# ----------------------------------------------------------------------
+def architecture_comparison(workload: str = "barrier",
+                            num_nodes: int = 8,
+                            scale: str = "fast") -> List[AblationPoint]:
+    """Compare the Figure 1 architectures on one workload.
+
+    * two-case (the paper's system): direct delivery dominates;
+    * memory-based: every message through a pinned memory queue;
+    * always-buffered: the software-buffer-only strawman.
+    """
+    from repro.core.two_case import DeliveryArchitecture
+
+    configs = [
+        ("two-case", SimulationConfig(num_nodes=num_nodes)),
+        ("memory-based", SimulationConfig(
+            num_nodes=num_nodes,
+            architecture=DeliveryArchitecture.MEMORY_BASED)),
+        ("always-buffered", SimulationConfig(num_nodes=num_nodes,
+                                             force_buffered=True)),
+    ]
+    points = []
+    for label, config in configs:
+        machine = Machine(config)
+        tracer = machine.enable_tracing(limit=500_000)
+        app = make_workload(workload, seed=1, num_nodes=num_nodes,
+                            scale=scale)
+        job = machine.add_job(app)
+        machine.start()
+        machine.run_until_job_done(job, limit=50_000_000_000)
+        metrics = collect_metrics(machine, job)
+        pinned = sum(
+            state.buffer.pages_in_use
+            for state in job.node_states.values()
+        )
+        summary = tracer.summary()
+        latency = (summary["mean_latency_fast"]
+                   if label == "two-case"
+                   else summary["mean_latency_buffered"])
+        points.append(AblationPoint(
+            label=label, metrics=metrics,
+            extra={
+                "resident_buffer_pages": pinned,
+                "mean_message_latency": latency,
+            },
+        ))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Fragmented vs bulk (DMA) data transfer in CRL
+# ----------------------------------------------------------------------
+class _BigRegionReaders:
+    """A Barnes-tree-like pattern: node 0 republishes a large region
+    each round; every other node re-reads it."""
+
+    name = "bigregion"
+
+    def __init__(self, num_nodes: int, region_words: int, rounds: int,
+                 bulk_threshold) -> None:
+        from repro.apps.base import CollectiveOps
+        from repro.crl.api import Crl
+
+        self.num_nodes = num_nodes
+        self.region_words = region_words
+        self.rounds = rounds
+        self.crl = Crl(num_nodes, bulk_threshold=bulk_threshold)
+        self.crl.create(0, home=0, size_words=region_words,
+                        init=[0] * region_words)
+        self.collectives = CollectiveOps(num_nodes)
+
+    def main(self, rt, node_index):
+        from repro.machine.processor import Compute
+
+        for round_no in range(self.rounds):
+            if node_index == 0:
+                yield from self.crl.start_write(rt, 0)
+                data = self.crl.data(rt, 0)
+                data[0] = round_no
+                yield from self.crl.end_write(rt, 0)
+            yield from self.collectives.barrier(rt)
+            snapshot = yield from self.crl.read_region(rt, 0)
+            assert snapshot[0] == round_no
+            yield Compute(500)
+            yield from self.collectives.barrier(rt)
+
+
+def bulk_transfer_ablation(region_words: int = 1500, rounds: int = 6,
+                           num_nodes: int = 8) -> List[AblationPoint]:
+    """Fragmented 16-word messages vs one DMA transfer per grant."""
+    points = []
+    for label, threshold in (("fragments", None), ("bulk-dma", 256)):
+        config = SimulationConfig(num_nodes=num_nodes)
+        app = _BigRegionReaders(num_nodes, region_words, rounds,
+                                bulk_threshold=threshold)
+        machine, job = _run(config, app)
+        metrics = collect_metrics(machine, job)
+        stats = app.crl.stats
+        points.append(AblationPoint(
+            label=label, metrics=metrics,
+            extra={
+                "data_fragments": stats["data_fragments"],
+                "bulk_transfers": stats["bulk_transfers"],
+            },
+        ))
+    return points
+
+
+# ----------------------------------------------------------------------
+# NI input-queue depth
+# ----------------------------------------------------------------------
+def queue_depth_ablation(depths: Sequence[int] = (1, 2, 8),
+                         num_nodes: int = 4) -> List[AblationPoint]:
+    points = []
+    for depth in depths:
+        config = SimulationConfig(num_nodes=num_nodes,
+                                  ni_input_queue=depth)
+        app = SynthApplication(group_size=100, t_betw=50,
+                               total_messages_per_node=800,
+                               num_nodes=num_nodes, seed=1)
+        machine, job = _run(config, app)
+        metrics = collect_metrics(machine, job)
+        max_backlog = max(
+            machine.fabric.stats.max_backlog.values(), default=0
+        )
+        points.append(AblationPoint(
+            label=f"queue={depth}", metrics=metrics,
+            extra={
+                "max_network_backlog": max_backlog,
+                "sender_blocks": machine.fabric.stats.sender_blocks,
+            },
+        ))
+    return points

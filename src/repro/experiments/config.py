@@ -1,0 +1,102 @@
+"""Machine and experiment configuration.
+
+Defaults follow the paper's experimental environment (Section 5):
+eight processors, a 500,000-cycle scheduler timeslice, Table 4/5 cycle
+costs. Everything else the paper leaves free (timer preset, frame pool
+size, network constants) is an explicit, documented knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.atomicity import TimeoutPolicy
+from repro.core.costs import AtomicityMode, CostModel
+from repro.core.two_case import DeliveryArchitecture
+from repro.glaze.overflow import OverflowPolicy
+from repro.ni.interface import NiConfig
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to build a :class:`~repro.machine.Machine`."""
+
+    # Machine shape
+    num_nodes: int = 8
+    #: Scheduler timeslice in cycles (Section 5: 500,000).
+    timeslice: int = 500_000
+    #: Schedule-quality knob: worst pairwise clock skew as a fraction of
+    #: the timeslice (Figure 7/8 x-axis).
+    skew_fraction: float = 0.0
+
+    # Protection regime / costs
+    atomicity_mode: AtomicityMode = AtomicityMode.HARD
+    #: Figure 10's sweep: artificial extra buffer-insert latency.
+    buffer_insert_extra: int = 0
+
+    # Memory system
+    #: Physical page frames per node available to virtual buffering.
+    frames_per_node: int = 128
+    #: Page size in words (4 KB pages of 4-byte words).
+    page_size_words: int = 1024
+
+    # Network interface
+    ni_input_queue: int = 2
+    #: Atomicity-timer preset; a free parameter per Section 4.1.
+    atomicity_timeout: int = 5_000
+    #: What a timer expiry does: the paper's revocation-to-buffering, or
+    #: the optional Polling-Watchdog acceleration (Section 2).
+    timeout_policy: TimeoutPolicy = TimeoutPolicy.REVOKE
+
+    # Interconnect
+    fabric_credits: int = 16
+    net_base_latency: int = 10
+    net_per_hop_latency: int = 2
+    net_per_word_latency: int = 1
+
+    # Overflow control
+    overflow: OverflowPolicy = field(default_factory=OverflowPolicy)
+
+    #: Ablation switch: deliver *every* message through the software
+    #: buffer (the SUNMOS-style always-buffered baseline of Section 2).
+    #: Two-case delivery's value is the gap this opens.
+    force_buffered: bool = False
+
+    #: Which Figure 1 interface architecture to model: the paper's
+    #: two-case system, or the memory-based baseline with pinned
+    #: per-process queues.
+    architecture: DeliveryArchitecture = DeliveryArchitecture.TWO_CASE
+    #: Pinned queue size per job per node (memory-based baseline only).
+    pinned_pages_per_job: int = 16
+
+    # Reproducibility
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.timeslice <= 0:
+            raise ValueError("timeslice must be positive")
+        if self.skew_fraction < 0:
+            raise ValueError("skew fraction cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def cost_model(self) -> CostModel:
+        model = CostModel.for_mode(self.atomicity_mode)
+        if self.buffer_insert_extra:
+            model = model.with_buffer_insert_extra(self.buffer_insert_extra)
+        return model
+
+    def ni_config(self) -> NiConfig:
+        return NiConfig(
+            input_queue_capacity=self.ni_input_queue,
+            atomicity_timeout=self.atomicity_timeout,
+        )
+
+    def with_skew(self, skew_fraction: float) -> "SimulationConfig":
+        return replace(self, skew_fraction=skew_fraction)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return replace(self, seed=seed)

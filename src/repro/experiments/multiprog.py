@@ -1,0 +1,96 @@
+"""Figures 7 and 8: applications multiprogrammed against a null
+application across schedule skews.
+
+Reproduces the Section 5.1 methodology: each application is
+gang-scheduled against "null" with a 500,000-cycle timeslice; schedule
+quality degrades via per-node clock skew; measured quantities are the
+fraction of messages taking the buffered path (Figure 7), the runtime
+relative to the zero-skew multiprogrammed run (Figure 8), and the
+maximum physical buffer pages on any node (the "less than seven
+pages/node" result). Numbers average over ``trials`` seeds, as the
+paper averages three trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import RunMetrics, collect_metrics, mean
+from repro.apps.null_app import NullApplication
+from repro.experiments.config import SimulationConfig
+from repro.experiments.workloads import WORKLOAD_NAMES, make_workload
+from repro.machine.machine import Machine
+
+#: The skew sweep: worst pairwise clock offset as a fraction of the
+#: timeslice ("decreasing schedule quality" along the x axis).
+DEFAULT_SKEWS = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def run_multiprogrammed(name: str, skew: float, seed: int = 1,
+                        num_nodes: int = 8, scale: str = "bench",
+                        timeslice: int = 500_000) -> RunMetrics:
+    """One multiprogrammed run: workload vs null at a given skew."""
+    config = SimulationConfig(num_nodes=num_nodes, seed=seed,
+                              skew_fraction=skew, timeslice=timeslice)
+    machine = Machine(config)
+    app = make_workload(name, seed=seed, num_nodes=num_nodes, scale=scale)
+    job = machine.add_job(app)
+    machine.add_job(NullApplication())
+    machine.start()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    return collect_metrics(machine, job)
+
+
+@dataclass
+class SkewSweepResult:
+    """One workload across the skew sweep (averaged over trials)."""
+
+    name: str
+    skews: List[float]
+    metrics: List[RunMetrics]
+
+    @property
+    def buffered_percent(self) -> List[float]:
+        return [m.buffered_fraction * 100 for m in self.metrics]
+
+    @property
+    def relative_runtime(self) -> List[float]:
+        base = self.metrics[0].elapsed_cycles
+        if base == 0:
+            return [1.0 for _ in self.metrics]
+        return [m.elapsed_cycles / base for m in self.metrics]
+
+    @property
+    def max_pages(self) -> List[int]:
+        return [m.max_buffer_pages for m in self.metrics]
+
+
+def skew_sweep(name: str, skews: Sequence[float] = DEFAULT_SKEWS,
+               trials: int = 3, num_nodes: int = 8,
+               scale: str = "bench",
+               timeslice: int = 500_000) -> SkewSweepResult:
+    """Sweep schedule quality for one workload."""
+    per_skew: List[RunMetrics] = []
+    for skew in skews:
+        runs = [
+            run_multiprogrammed(name, skew, seed=seed + 1,
+                                num_nodes=num_nodes, scale=scale,
+                                timeslice=timeslice)
+            for seed in range(trials)
+        ]
+        per_skew.append(mean(runs))
+    return SkewSweepResult(name=name, skews=list(skews), metrics=per_skew)
+
+
+def full_sweep(skews: Sequence[float] = DEFAULT_SKEWS, trials: int = 3,
+               num_nodes: int = 8, scale: str = "bench",
+               names: Sequence[str] = tuple(WORKLOAD_NAMES),
+               timeslice: int = 500_000) -> Dict[str, SkewSweepResult]:
+    """The Figures 7/8 data set: every workload across the sweep."""
+    return {
+        name: skew_sweep(name, skews=skews, trials=trials,
+                         num_nodes=num_nodes, scale=scale,
+                         timeslice=timeslice)
+        for name in names
+    }

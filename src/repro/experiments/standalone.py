@@ -1,0 +1,67 @@
+"""Table 6: application characteristics, standalone on eight nodes.
+
+Runs each workload alone (no multiprogramming, no skew) and derives the
+paper's columns: total cycles, total messages, T_betw (average cycles
+between communication events per node) and T_hand (average cycles per
+handler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import RunMetrics, collect_metrics
+from repro.experiments.config import SimulationConfig
+from repro.experiments.workloads import MODELS, WORKLOAD_NAMES, make_workload
+from repro.machine.machine import Machine
+
+
+#: The paper's Table 6 reference values (8 nodes, full data sets).
+PAPER_TABLE6: Dict[str, Dict[str, float]] = {
+    "barnes": {"cycles": 45_700_000, "messages": 107_849,
+               "t_betw": 3390, "t_hand": 337},
+    "water": {"cycles": 47_600_000, "messages": 36_303,
+              "t_betw": 10_500, "t_hand": 419},
+    "lu": {"cycles": 13_400_000, "messages": 7_564,
+           "t_betw": 14_200, "t_hand": 478},
+    "barrier": {"cycles": 18_500_000, "messages": 240_177,
+                "t_betw": 615, "t_hand": 149},
+    "enum": {"cycles": 72_700_000, "messages": 610_148,
+             "t_betw": 953, "t_hand": 320},
+}
+
+
+@dataclass
+class Table6Row:
+    name: str
+    model: str
+    metrics: RunMetrics
+    paper: Dict[str, float]
+
+
+def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
+                   scale: str = "bench",
+                   config: Optional[SimulationConfig] = None) -> RunMetrics:
+    """One standalone run of a workload; returns its metrics."""
+    if config is None:
+        config = SimulationConfig(num_nodes=num_nodes, seed=seed)
+    machine = Machine(config)
+    app = make_workload(name, seed=seed, num_nodes=num_nodes, scale=scale)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=20_000_000_000)
+    return collect_metrics(machine, job)
+
+
+def table6_rows(num_nodes: int = 8, seed: int = 1,
+                scale: str = "bench") -> List[Table6Row]:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        metrics = run_standalone(name, num_nodes=num_nodes, seed=seed,
+                                 scale=scale)
+        rows.append(Table6Row(
+            name=name, model=MODELS[name], metrics=metrics,
+            paper=PAPER_TABLE6[name],
+        ))
+    return rows

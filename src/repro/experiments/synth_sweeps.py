@@ -1,0 +1,114 @@
+"""Figures 9 and 10: the synth-N sweeps (Section 5.2).
+
+Figure 9: percentage of messages buffered versus the mean send interval
+T_betw, for synth-10, synth-100 and synth-1000, at a constant small
+(1%) scheduler skew — "sufficient to force the application to enter
+buffered mode periodically".
+
+Figure 10: percentage buffered versus the *cost of the buffered path*,
+with T_betw held at 275 cycles — demonstrating that buffering feeds
+back on itself once the buffered path is slower than the send rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import RunMetrics, collect_metrics, mean
+from repro.apps.null_app import NullApplication
+from repro.apps.synth import SynthApplication
+from repro.experiments.config import SimulationConfig
+from repro.machine.machine import Machine
+
+#: Group sizes from the paper.
+GROUP_SIZES = (10, 100, 1000)
+#: Figure 9's x axis: mean cycles between sends.
+DEFAULT_INTERVALS = (50, 100, 150, 200, 275, 350, 500, 700, 1000)
+#: Figure 10's x axis: total buffered-path cost per message (the paper's
+#: baseline is 232 cycles; the sweep adds artificial insert latency).
+DEFAULT_BUFFER_COSTS = (232, 350, 500, 700, 1000, 1500, 2500)
+#: The paper's fixed parameters.
+T_HAND = 290
+FIG10_T_BETW = 275
+SYNTH_NODES = 4
+SYNTH_SKEW = 0.01
+
+
+def run_synth(group_size: int, t_betw: int, seed: int = 1,
+              buffer_cost_extra: int = 0,
+              messages_per_node: int = 2000,
+              timeslice: int = 500_000) -> RunMetrics:
+    """One synth-N run multiprogrammed against null at 1% skew."""
+    config = SimulationConfig(
+        num_nodes=SYNTH_NODES, seed=seed, skew_fraction=SYNTH_SKEW,
+        timeslice=timeslice, buffer_insert_extra=buffer_cost_extra,
+    )
+    machine = Machine(config)
+    app = SynthApplication(
+        group_size=group_size, t_betw=t_betw, t_hand=T_HAND,
+        total_messages_per_node=messages_per_node,
+        num_nodes=SYNTH_NODES, seed=seed,
+    )
+    job = machine.add_job(app)
+    machine.add_job(NullApplication())
+    machine.start()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    return collect_metrics(machine, job)
+
+
+@dataclass
+class SynthSweepResult:
+    """Buffered percentage per x value, per group size."""
+
+    x_label: str
+    xs: List[int]
+    series: Dict[int, List[float]]  # group size -> buffered %
+
+    def series_pairs(self) -> List[tuple]:
+        return [
+            (f"synth-{n}", values) for n, values in self.series.items()
+        ]
+
+
+def interval_sweep(intervals: Sequence[int] = DEFAULT_INTERVALS,
+                   group_sizes: Sequence[int] = GROUP_SIZES,
+                   trials: int = 3,
+                   messages_per_node: int = 2000) -> SynthSweepResult:
+    """Figure 9: buffered % versus send interval."""
+    series: Dict[int, List[float]] = {}
+    for group in group_sizes:
+        values = []
+        for t_betw in intervals:
+            runs = [
+                run_synth(group, t_betw, seed=seed + 1,
+                          messages_per_node=messages_per_node)
+                for seed in range(trials)
+            ]
+            values.append(mean(runs).buffered_fraction * 100)
+        series[group] = values
+    return SynthSweepResult(x_label="T_betw", xs=list(intervals),
+                            series=series)
+
+
+def buffer_cost_sweep(costs: Sequence[int] = DEFAULT_BUFFER_COSTS,
+                      group_sizes: Sequence[int] = GROUP_SIZES,
+                      trials: int = 3,
+                      messages_per_node: int = 2000) -> SynthSweepResult:
+    """Figure 10: buffered % versus buffered-path cost at T_betw=275."""
+    baseline = DEFAULT_BUFFER_COSTS[0]
+    series: Dict[int, List[float]] = {}
+    for group in group_sizes:
+        values = []
+        for cost in costs:
+            extra = max(0, cost - baseline)
+            runs = [
+                run_synth(group, FIG10_T_BETW, seed=seed + 1,
+                          buffer_cost_extra=extra,
+                          messages_per_node=messages_per_node)
+                for seed in range(trials)
+            ]
+            values.append(mean(runs).buffered_fraction * 100)
+        series[group] = values
+    return SynthSweepResult(x_label="buffered-path cost", xs=list(costs),
+                            series=series)

@@ -1,0 +1,144 @@
+"""Physical page frames and demand-paged address spaces.
+
+Virtual buffering's defining property is that the software buffer lives
+in *virtual* memory: physical frames back it only on demand, and the
+frame pool is shared with every other consumer of memory on the node.
+This module provides that substrate:
+
+* :class:`PageFramePool` — the per-node pool of physical page frames,
+  with high-water accounting (the "maximum number of physical pages
+  required during any run" statistic of Section 5.1);
+* :class:`AddressSpace` — a per-job, per-node demand-zero virtual
+  address space (Glaze "does not support paging to disk, but does
+  support faults to pages that are allocated and zero-filled on
+  demand"). The buffer allocator and application page-fault simulation
+  both draw from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+
+class OutOfFrames(Exception):
+    """Raised when an allocation finds the physical frame pool empty.
+
+    The buffer-insertion path catches this and takes the guaranteed
+    (second-network) path to backing store — or invokes overflow
+    control.
+    """
+
+
+@dataclass
+class FramePoolStats:
+    allocations: int = 0
+    releases: int = 0
+    failures: int = 0
+    min_free: int = 0
+
+    def reset_watermark(self, free: int) -> None:
+        self.min_free = free
+
+
+class PageFramePool:
+    """The pool of physical page frames on one node."""
+
+    def __init__(self, node_id: int, total_frames: int) -> None:
+        if total_frames < 1:
+            raise ValueError("a node needs at least one page frame")
+        self.node_id = node_id
+        self.total_frames = total_frames
+        self.free_frames = total_frames
+        #: Frames reclaimed from other memory consumers by paging their
+        #: contents to backing store; repaid as frames free up.
+        self.loaned_frames = 0
+        self.stats = FramePoolStats(min_free=total_frames)
+
+    def allocate(self) -> None:
+        """Take one frame; raises :class:`OutOfFrames` when exhausted."""
+        if self.free_frames == 0:
+            self.stats.failures += 1
+            raise OutOfFrames(f"node {self.node_id}: frame pool empty")
+        self.free_frames -= 1
+        self.stats.allocations += 1
+        if self.free_frames < self.stats.min_free:
+            self.stats.min_free = self.free_frames
+
+    def loan_frame(self) -> None:
+        """A page-out reclaimed a frame from some other consumer (file
+        cache, another job's cold page). The loan is repaid — the
+        evicted page notionally paged back in — as frames release."""
+        self.loaned_frames += 1
+        self.free_frames += 1
+
+    def release(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("cannot release a negative frame count")
+        for _ in range(count):
+            if self.loaned_frames > 0:
+                self.loaned_frames -= 1  # repay the page-out loan
+            else:
+                self.free_frames += 1
+        if self.free_frames > self.total_frames:
+            raise ValueError(
+                f"node {self.node_id}: releasing {count} frames exceeded "
+                f"the pool size"
+            )
+        self.stats.releases += count
+
+    @property
+    def frames_in_use(self) -> int:
+        return self.total_frames - self.free_frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PageFramePool node={self.node_id} "
+            f"free={self.free_frames}/{self.total_frames}>"
+        )
+
+
+class AddressSpace:
+    """A demand-zero virtual address space for one job on one node.
+
+    Pages are identified by virtual page number. Touching an unmapped
+    page "faults" and maps a zero-filled page backed by a physical
+    frame. The space tracks which pages belong to the message buffer so
+    buffer accounting can be audited independently.
+    """
+
+    def __init__(self, pool: PageFramePool, page_size_words: int = 1024) -> None:
+        if page_size_words < 16:
+            raise ValueError("page must hold at least one max-size message")
+        self.pool = pool
+        self.page_size_words = page_size_words
+        self._mapped: Set[int] = set()
+        self._next_vpn = 0
+        self.faults = 0
+
+    def map_fresh_page(self) -> int:
+        """Allocate a new zero-filled page; returns its virtual page
+        number. Raises :class:`OutOfFrames` if no frame is available."""
+        self.pool.allocate()
+        vpn = self._next_vpn
+        self._next_vpn += 1
+        self._mapped.add(vpn)
+        self.faults += 1
+        return vpn
+
+    def unmap_page(self, vpn: int) -> None:
+        """Release a page and its backing frame."""
+        if vpn not in self._mapped:
+            raise KeyError(f"page {vpn} not mapped")
+        self._mapped.remove(vpn)
+        self.pool.release()
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._mapped)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return vpn in self._mapped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AddressSpace pages={len(self._mapped)}>"

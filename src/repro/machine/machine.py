@@ -1,0 +1,191 @@
+"""The whole simulated FUGU machine.
+
+Assembles the engine, interconnect, nodes (processor + NI + kernel),
+gang scheduler and overflow control from a
+:class:`~repro.experiments.config.SimulationConfig`; owns job creation
+and the run loop.
+
+Typical use::
+
+    machine = Machine(SimulationConfig(num_nodes=8, skew_fraction=0.02))
+    job = machine.add_job(MyApplication())
+    null = machine.add_job(NullApplication())
+    machine.start()
+    machine.run_until_job_done(job)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.random import DeterministicRng
+from repro.network.fabric import NetworkFabric
+from repro.network.second_network import SecondNetwork
+from repro.network.topology import MeshTopology
+from repro.ni.gid import GidAuthority
+from repro.machine.node import Node
+from repro.machine.processor import Frame
+from repro.glaze.buffering import VirtualBuffer
+from repro.glaze.jobs import Job, JobNodeState
+from repro.glaze.overflow import OverflowControl
+from repro.glaze.scheduler import GangScheduler
+from repro.glaze.vm import AddressSpace
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import SimulationConfig
+
+
+class Machine:
+    """A complete simulated multiprocessor running Glaze."""
+
+    def __init__(self, config: Optional["SimulationConfig"] = None) -> None:
+        if config is None:
+            from repro.experiments.config import SimulationConfig
+
+            config = SimulationConfig()
+        self.config = config
+        self.engine = Engine()
+        self.costs = self.config.cost_model()
+        self.rng = DeterministicRng(self.config.seed, "machine")
+        self.topology = MeshTopology(
+            self.config.num_nodes,
+            base_latency=self.config.net_base_latency,
+            per_hop_latency=self.config.net_per_hop_latency,
+            per_word_latency=self.config.net_per_word_latency,
+        )
+        self.fabric = NetworkFabric(
+            self.engine, self.topology, self.config.fabric_credits
+        )
+        self.second_network = SecondNetwork(self.engine)
+        self.gids = GidAuthority()
+        self.overflow = OverflowControl(self.config.overflow)
+        self.nodes: List[Node] = [
+            Node(self, node_id) for node_id in range(self.config.num_nodes)
+        ]
+        self.scheduler = GangScheduler(
+            self, self.config.timeslice, self.config.skew_fraction
+        )
+        self.jobs: List[Job] = []
+        self._jobs_by_gid: Dict[int, Job] = {}
+        self.start_offset = 0
+        self._started = False
+        #: Optional message tracer (see repro.analysis.trace).
+        self.tracer = None
+
+    def enable_tracing(self, limit: Optional[int] = 100_000):
+        """Record per-message lifecycle events (Figure 2/5 timelines)."""
+        from repro.analysis.trace import MessageTracer
+
+        self.tracer = MessageTracer(limit=limit)
+        self.fabric.tracer = self.tracer
+        return self.tracer
+
+    # ------------------------------------------------------------------
+    # Job management
+    # ------------------------------------------------------------------
+    def add_job(self, app) -> Job:
+        """Create a job running ``app`` on every node.
+
+        ``app`` must provide ``name`` and a ``main(rt, node_index)``
+        generator-function (see :mod:`repro.apps.base`).
+        """
+        if self._started:
+            raise RuntimeError("cannot add jobs after the machine started")
+        from repro.core.udm import UdmRuntime
+
+        from repro.core.two_case import DeliveryArchitecture, DeliveryMode
+        from repro.glaze.buffering import PinnedQueue
+
+        memory_based = (
+            self.config.architecture is DeliveryArchitecture.MEMORY_BASED
+        )
+        gid = self.gids.allocate(app.name)
+        job = Job(app.name, gid, self.config.num_nodes)
+        for node in self.nodes:
+            space = AddressSpace(node.frame_pool,
+                                 self.config.page_size_words)
+            if memory_based:
+                buffer = PinnedQueue(space,
+                                     self.config.pinned_pages_per_job)
+            else:
+                buffer = VirtualBuffer(space)
+            state = JobNodeState(job, node.node_id, space, buffer)
+            if memory_based:
+                # The baseline has no fast case: messages always land
+                # in the pinned memory queue.
+                state.mode = DeliveryMode.BUFFERED
+            job.node_states[node.node_id] = state
+        for node in self.nodes:
+            state = job.node_states[node.node_id]
+            runtime = UdmRuntime(self, job, node)
+            state.runtime = runtime
+            main = self._main_wrapper(runtime, app.main(runtime,
+                                                        node.node_id))
+            state.frames = [Frame(
+                main, name=f"{app.name}@{node.node_id}", kernel=False,
+                job_gid=gid,
+            )]
+        self.jobs.append(job)
+        self._jobs_by_gid[gid] = job
+        self.scheduler.add_job(job)
+        return job
+
+    @staticmethod
+    def _main_wrapper(runtime, main_gen) -> Generator:
+        yield from main_gen
+        runtime.finish_main()
+
+    def job_by_gid(self, gid: int) -> Optional[Job]:
+        return self._jobs_by_gid.get(gid)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install the first quantum on every node."""
+        if self._started:
+            raise RuntimeError("machine already started")
+        self._started = True
+        self.start_offset = self.engine.now
+        for job in self.jobs:
+            job.start_time = self.engine.now
+        self.scheduler.start()
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run the event loop; see :meth:`repro.sim.engine.Engine.run`."""
+        if not self._started:
+            self.start()
+        return self.engine.run(until=until, max_events=max_events)
+
+    def run_until_job_done(self, job: Job,
+                           limit: Optional[int] = None) -> int:
+        """Run until ``job`` finishes (or ``limit`` cycles elapse).
+
+        Raises RuntimeError if the event heap drains with the job
+        unfinished — a deadlocked or wedged application is a bug worth
+        failing loudly on.
+        """
+        if not self._started:
+            self.start()
+        engine = self.engine
+        while not job.finished:
+            if limit is not None and engine.now >= limit:
+                raise RuntimeError(
+                    f"job {job.name} did not finish within {limit} cycles"
+                )
+            if not engine.step():
+                raise RuntimeError(
+                    f"event heap drained but job {job.name} is unfinished "
+                    "(application deadlock?)"
+                )
+        return engine.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Machine nodes={self.config.num_nodes} t={self.engine.now} "
+            f"jobs={[j.name for j in self.jobs]}>"
+        )

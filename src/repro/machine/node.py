@@ -1,0 +1,37 @@
+"""One FUGU node: processor, network interface, DMA, frames, kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.machine.processor import Processor
+from repro.ni.dma import DmaEngine
+from repro.ni.interface import NetworkInterface
+from repro.glaze.vm import PageFramePool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+
+class Node:
+    """A single node of the simulated machine."""
+
+    def __init__(self, machine: "Machine", node_id: int) -> None:
+        self.machine = machine
+        self.node_id = node_id
+        self.processor = Processor(machine.engine, node_id)
+        self.ni = NetworkInterface(
+            machine.engine, node_id, machine.fabric, machine.config.ni_config()
+        )
+        self.dma = DmaEngine(machine.engine)
+        self.frame_pool = PageFramePool(
+            node_id, machine.config.frames_per_node
+        )
+        # The kernel wires itself into the NI vectors and the second
+        # network; import here to avoid a module cycle at import time.
+        from repro.glaze.kernel import NodeKernel
+
+        self.kernel = NodeKernel(self, machine)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id}>"

@@ -1,0 +1,22 @@
+"""Interconnect substrate: messages, topology and delivery fabrics.
+
+The fabric models what the paper's experiments depend on — end-to-end
+latency, reliable in-order delivery per (source, destination) pair, and
+finite network-interface queues whose backpressure the revocable
+interrupt-disable mechanism exists to police — without modelling
+flit-level routing the evaluation never exercises.
+"""
+
+from repro.network.message import Message, KERNEL_GID, MAX_MESSAGE_WORDS
+from repro.network.topology import MeshTopology
+from repro.network.fabric import NetworkFabric
+from repro.network.second_network import SecondNetwork
+
+__all__ = [
+    "Message",
+    "KERNEL_GID",
+    "MAX_MESSAGE_WORDS",
+    "MeshTopology",
+    "NetworkFabric",
+    "SecondNetwork",
+]

@@ -1,0 +1,63 @@
+"""The reserved second logical network (Section 4.2, "Guaranteed Delivery").
+
+FUGU reserves a second network for the operating system as a guaranteed,
+deadlock-free path to backing store: when the physical page-frame pool is
+empty, the buffer-insertion path must still be able to page frames out
+without depending on the (possibly clogged) main network. The paper's
+emulator used "a very simple, bit-serial network"; performance is
+explicitly non-critical.
+
+We model it as an independent point-to-point channel with its own (high)
+latency and unbounded kernel-only queues. It is used by the paging path
+(:mod:`repro.glaze.vm`) and by overflow control; user code can never
+reach it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.sim.engine import Engine
+
+
+@dataclass
+class SecondNetworkStats:
+    messages_sent: int = 0
+    words_carried: int = 0
+
+
+class SecondNetwork:
+    """Bit-serial OS service network: slow, reliable, deadlock-free."""
+
+    def __init__(self, engine: Engine, per_word_latency: int = 32,
+                 base_latency: int = 100) -> None:
+        self.engine = engine
+        self.per_word_latency = per_word_latency
+        self.base_latency = base_latency
+        self.stats = SecondNetworkStats()
+        self._handlers: Dict[int, Callable[[int, str, Any], None]] = {}
+
+    def attach(self, node_id: int,
+               handler: Callable[[int, str, Any], None]) -> None:
+        """Register the kernel service handler for ``node_id``.
+
+        ``handler(src, kind, payload)`` runs at message arrival.
+        """
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+
+    def send(self, src: int, dst: int, kind: str, payload: Any = None,
+             words: int = 4) -> None:
+        """Send an OS service message; delivery is guaranteed.
+
+        ``words`` sizes the bit-serial transfer for latency purposes.
+        """
+        if dst not in self._handlers:
+            raise ValueError(f"no kernel service attached at node {dst}")
+        self.stats.messages_sent += 1
+        self.stats.words_carried += words
+        latency = self.base_latency + self.per_word_latency * words
+        handler = self._handlers[dst]
+        self.engine.call_after(latency, lambda: handler(src, kind, payload))

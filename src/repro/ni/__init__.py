@@ -1,0 +1,31 @@
+"""ISA-level model of the FUGU network interface (Section 4.1).
+
+Implements the memory-mapped register file (Figure 3), the atomic
+operations ``launch`` / ``dispose`` / ``beginatom`` / ``endatom``
+(Table 1), the interrupt and trap set (Table 2), the User Atomicity
+Control flags (Table 3), the dedicated atomicity timer behind the
+revocable-interrupt-disable mechanism, hardware GID stamp/check, the
+``divert-mode`` bit that steers all traffic to the kernel in buffered
+mode, and the simple DMA engine the buffered path uses.
+"""
+
+from repro.ni.traps import Interrupt, Trap, TrapSignal
+from repro.ni.uac import UserAtomicityControl
+from repro.ni.registers import RegisterFile
+from repro.ni.timer import AtomicityTimer
+from repro.ni.gid import GidAuthority
+from repro.ni.dma import DmaEngine
+from repro.ni.interface import NetworkInterface, NiConfig
+
+__all__ = [
+    "Interrupt",
+    "Trap",
+    "TrapSignal",
+    "UserAtomicityControl",
+    "RegisterFile",
+    "AtomicityTimer",
+    "GidAuthority",
+    "DmaEngine",
+    "NetworkInterface",
+    "NiConfig",
+]

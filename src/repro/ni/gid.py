@@ -1,0 +1,42 @@
+"""Group identifiers (GIDs) and their allocation.
+
+A GID labels a *group* of processes operating together — the processes
+corresponding to the virtual processors of one parallel application.
+Hardware stamps the sender's GID into every outgoing message and checks
+it against the scheduled GID at the receiver; matches are delivered to
+the user, mismatches interrupt the operating system (Section 4.1,
+"Protection"). GID 0 is reserved for the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.network.message import KERNEL_GID
+
+
+class GidAuthority:
+    """Machine-wide allocator of group identifiers."""
+
+    def __init__(self) -> None:
+        self._next = KERNEL_GID + 1
+        self._names: Dict[int, str] = {KERNEL_GID: "kernel"}
+
+    def allocate(self, name: str) -> int:
+        """Assign a fresh GID to an application group."""
+        gid = self._next
+        self._next += 1
+        self._names[gid] = name
+        return gid
+
+    def name_of(self, gid: int) -> str:
+        return self._names.get(gid, f"gid-{gid}")
+
+    def known(self, gid: int) -> bool:
+        return gid in self._names
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GidAuthority {self._names}>"

@@ -1,0 +1,96 @@
+"""The memory-mapped register file of the FUGU NI (Figure 3).
+
+User-level registers:
+
+* the **output message buffer** (up to 16 words) plus the
+  *descriptor-length* register — the describe half of the two-phase
+  inject;
+* the **input message window** exposing the head of the hardware input
+  queue (read via the NI, swapped to memory in buffered mode);
+* *message-available* and *space-available* status (computed by the NI);
+* the user half of the UAC register.
+
+Kernel-level registers (user access traps with protection-violation):
+
+* *current-gid* — the GID of the scheduled process group, stamped into
+  outgoing messages and checked against incoming ones;
+* *divert-mode* — when set, every incoming message raises a kernel
+  mismatch-available interrupt and user ``dispose`` traps
+  (dispose-extend): the hardware half of buffered mode;
+* *atomicity-timeout* — the timer preset (held in the timer model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.network.message import KERNEL_GID, MAX_MESSAGE_WORDS
+from repro.ni.traps import Trap, TrapSignal
+
+
+class OutputDescriptor:
+    """The send-side descriptor: destination, handler, payload words."""
+
+    __slots__ = ("dst", "handler", "payload", "kernel_bit")
+
+    def __init__(self) -> None:
+        self.clear()
+
+    def clear(self) -> None:
+        self.dst: int = -1
+        self.handler: Any = None
+        self.payload: Tuple[Any, ...] = ()
+        self.kernel_bit: bool = False
+
+    @property
+    def length(self) -> int:
+        """The descriptor-length register (words described so far)."""
+        if self.dst < 0:
+            return 0
+        return 2 + len(self.payload)
+
+    def describe(self, dst: int, handler: Any, payload: Tuple[Any, ...],
+                 kernel_bit: bool = False) -> None:
+        if 2 + len(payload) > MAX_MESSAGE_WORDS:
+            raise ValueError(
+                f"message of {2 + len(payload)} words exceeds the "
+                f"{MAX_MESSAGE_WORDS}-word output buffer; use DMA"
+            )
+        self.dst = dst
+        self.handler = handler
+        self.payload = tuple(payload)
+        self.kernel_bit = kernel_bit
+
+
+class RegisterFile:
+    """Architectural register state not owned by a dedicated model."""
+
+    __slots__ = ("output", "current_gid", "divert_mode")
+
+    def __init__(self) -> None:
+        self.output = OutputDescriptor()
+        self.current_gid: int = KERNEL_GID
+        self.divert_mode: bool = False
+
+    # ------------------------------------------------------------------
+    # Kernel register protection
+    # ------------------------------------------------------------------
+    def write_current_gid(self, gid: int, privileged: bool) -> None:
+        self._check_privilege(privileged, "current-gid")
+        self.current_gid = gid
+
+    def write_divert_mode(self, value: bool, privileged: bool) -> None:
+        self._check_privilege(privileged, "divert-mode")
+        self.divert_mode = bool(value)
+
+    @staticmethod
+    def _check_privilege(privileged: bool, register: str) -> None:
+        if not privileged:
+            raise TrapSignal(Trap.PROTECTION_VIOLATION,
+                             {"register": register})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Registers gid={self.current_gid} divert={self.divert_mode} "
+            f"desc_len={self.output.length}>"
+        )

@@ -1,0 +1,89 @@
+"""The dedicated atomicity timer (Section 4.1, "Revocable Interrupt
+Disable").
+
+Hardware behaviour being modelled:
+
+* a decrementing counter and a preset value (*atomicity-timeout*);
+* while **disabled**, the counter sits at the preset value;
+* while **enabled**, it decrements every cycle and flags an
+  *atomicity-timeout* interrupt on reaching zero;
+* the enable condition is computed by the NI from the UAC flags
+  (interrupt-disable with a message pending, or timer-force);
+* ``dispose`` "briefly disables (i.e. presets)" the timer — forward
+  progress on the message queue restarts the countdown.
+
+Because the counter is preset whenever disabled, enabling always starts
+a full countdown; the event-driven model is therefore a cancellable
+scheduled timeout rather than a per-cycle decrement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+
+
+class AtomicityTimer:
+    """Restartable countdown raising ``on_timeout`` after ``preset``."""
+
+    def __init__(self, engine: Engine, preset: int,
+                 on_timeout: Callable[[], None]) -> None:
+        if preset <= 0:
+            raise ValueError("atomicity timeout preset must be positive")
+        self.engine = engine
+        self.preset = preset
+        self.on_timeout = on_timeout
+        self._entry = None
+        self.timeouts = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._entry is not None
+
+    @property
+    def deadline(self) -> Optional[int]:
+        return self._entry.time if self._entry is not None else None
+
+    def set_preset(self, preset: int) -> None:
+        """Kernel write of the *atomicity-timeout* register.
+
+        Takes effect at the next enable (the running countdown, if any,
+        is not retimed — matches a preset-on-disable counter).
+        """
+        if preset <= 0:
+            raise ValueError("atomicity timeout preset must be positive")
+        self.preset = preset
+
+    def enable(self) -> None:
+        """Start the countdown if not already running."""
+        if self._entry is None:
+            self._entry = self.engine.call_after(self.preset, self._fire)
+
+    def disable(self) -> None:
+        """Stop the countdown and preset the counter."""
+        if self._entry is not None:
+            self._entry.cancel()
+            self._entry = None
+
+    def restart(self) -> None:
+        """Dispose semantics: preset, then resume counting if enabled."""
+        if self._entry is not None:
+            self._entry.cancel()
+            self._entry = self.engine.call_after(self.preset, self._fire)
+
+    def update(self, should_enable: bool) -> None:
+        """Drive the enable condition from NI state."""
+        if should_enable:
+            self.enable()
+        else:
+            self.disable()
+
+    def _fire(self) -> None:
+        self._entry = None
+        self.timeouts += 1
+        self.on_timeout()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"deadline={self.deadline}" if self.enabled else "disabled"
+        return f"<AtomicityTimer preset={self.preset} {state}>"

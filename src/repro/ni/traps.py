@@ -1,0 +1,57 @@
+"""Interrupts and traps of the FUGU network interface (Table 2).
+
+Interrupts are asynchronous (raised by hardware state changes); traps
+are synchronous (raised by an instruction the running code executed).
+In the simulator, traps propagate as :class:`TrapSignal` exceptions from
+the NI operation back to the executing runtime, which vectors into the
+kernel's trap handler — the behavioural equivalent of a precise trap.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+
+class Interrupt(enum.Enum):
+    """Asynchronous events (Table 2, upper half)."""
+
+    #: User interrupt: raised when a message is available for reading.
+    MESSAGE_AVAILABLE = "message-available"
+    #: Kernel interrupt: message available with mismatched GID (or all
+    #: messages when divert-mode is set).
+    MISMATCH_AVAILABLE = "mismatch-available"
+    #: Kernel interrupt: the atomic-section timer expired.
+    ATOMICITY_TIMEOUT = "atomicity-timeout"
+
+
+class Trap(enum.Enum):
+    """Synchronous events (Table 2, lower half)."""
+
+    #: Optional trap at the end of an atomic section (kernel-requested).
+    ATOMICITY_EXTEND = "atomicity-extend"
+    #: Optionally triggered by ``dispose`` (divert-mode set).
+    DISPOSE_EXTEND = "dispose-extend"
+    #: Triggered by ``endatom`` when the application failed to free the
+    #: pending message inside its atomic section.
+    DISPOSE_FAILURE = "dispose-failure"
+    #: Triggered by ``dispose`` with no pending message.
+    BAD_DISPOSE = "bad-dispose"
+    #: User access to kernel registers, or user ``launch`` of a message
+    #: carrying the kernel GID.
+    PROTECTION_VIOLATION = "protection-violation"
+    #: Page fault taken by user code (used by the two-case transition
+    #: "page fault in the handler").
+    PAGE_FAULT = "page-fault"
+
+
+class TrapSignal(Exception):
+    """A synchronous trap propagating out of an NI operation."""
+
+    def __init__(self, trap: Trap, info: Any = None) -> None:
+        super().__init__(trap.value)
+        self.trap = trap
+        self.info = info
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrapSignal({self.trap.value}, info={self.info!r})"

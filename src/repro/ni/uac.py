@@ -1,0 +1,82 @@
+"""The User Atomicity Control (UAC) register (Table 3).
+
+Four flags. Two are user-writable through ``beginatom``/``endatom``:
+
+* ``interrupt_disable`` — prevents *message-available* interrupts; while
+  a message is pending it also enables the atomicity timer (``dispose``
+  briefly disables, i.e. presets, the timer).
+* ``timer_force`` — enables the atomicity timer unconditionally.
+
+Two are kernel-only, configured before control returns to the user:
+
+* ``dispose_pending`` — set by the OS in the message-available stub and
+  reset by ``dispose``; ``endatom`` with this flag set means the
+  application failed to free the message (dispose-failure trap).
+* ``atomicity_extend`` — requests a trap at the end of the current
+  atomic section, so the OS regains control exactly when user atomicity
+  ends (the hook the revocation path and buffered mode rely on).
+"""
+
+from __future__ import annotations
+
+#: Bit masks for beginatom/endatom operands (user-modifiable bits).
+INTERRUPT_DISABLE = 0b01
+TIMER_FORCE = 0b10
+USER_MASK = INTERRUPT_DISABLE | TIMER_FORCE
+
+
+class UserAtomicityControl:
+    """The four UAC flags plus mask-based user manipulation."""
+
+    __slots__ = ("interrupt_disable", "timer_force",
+                 "dispose_pending", "atomicity_extend")
+
+    def __init__(self) -> None:
+        self.interrupt_disable = False
+        self.timer_force = False
+        self.dispose_pending = False
+        self.atomicity_extend = False
+
+    # -- mask encoding (Table 1: UAC := UAC | MASK etc.) ---------------
+    def user_bits(self) -> int:
+        bits = 0
+        if self.interrupt_disable:
+            bits |= INTERRUPT_DISABLE
+        if self.timer_force:
+            bits |= TIMER_FORCE
+        return bits
+
+    def set_user_bits(self, mask: int) -> None:
+        """UAC := UAC | mask (beginatom semantics)."""
+        if mask & ~USER_MASK:
+            raise ValueError(f"mask {mask:#x} touches kernel UAC bits")
+        if mask & INTERRUPT_DISABLE:
+            self.interrupt_disable = True
+        if mask & TIMER_FORCE:
+            self.timer_force = True
+
+    def clear_user_bits(self, mask: int) -> None:
+        """UAC := UAC & ~mask (endatom semantics, after trap checks)."""
+        if mask & ~USER_MASK:
+            raise ValueError(f"mask {mask:#x} touches kernel UAC bits")
+        if mask & INTERRUPT_DISABLE:
+            self.interrupt_disable = False
+        if mask & TIMER_FORCE:
+            self.timer_force = False
+
+    def snapshot(self) -> dict:
+        """Full register state, for context save/debug."""
+        return {
+            "interrupt_disable": self.interrupt_disable,
+            "timer_force": self.timer_force,
+            "dispose_pending": self.dispose_pending,
+            "atomicity_extend": self.atomicity_extend,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = [k for k, v in self.snapshot().items() if v]
+        return f"<UAC {' '.join(flags) or 'clear'}>"

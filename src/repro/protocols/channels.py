@@ -1,0 +1,119 @@
+"""Ordered, flow-controlled point-to-point channels over UDM.
+
+A :class:`Channel` is a one-way byte^H^H^H^Hword stream between a fixed
+(producer node, consumer node) pair with application-level credit flow
+control: the producer may have at most ``window`` items outstanding;
+the consumer's take operation returns credits. This is the classic
+pattern for bounding buffer usage *above* the messaging layer — the
+"applications that require a reply inherently limit their own
+communication rate" behaviour Section 5.2 identifies, packaged as a
+library.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator, Optional
+
+from repro.machine.processor import Compute
+from repro.core.udm import UdmRuntime
+from repro.sim.events import Event
+
+
+class Channel:
+    """One flow-controlled producer→consumer stream."""
+
+    def __init__(self, channel_id: int, producer: int, consumer: int,
+                 window: int = 16) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.channel_id = channel_id
+        self.producer = producer
+        self.consumer = consumer
+        self.window = window
+        self.credits = window
+        self._items: Deque[Any] = deque()
+        self._credit_event: Optional[Event] = None
+        self._data_event: Optional[Event] = None
+        self.items_sent = 0
+        self.items_taken = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Channel {self.channel_id} {self.producer}->{self.consumer}"
+            f" credits={self.credits} queued={len(self._items)}>"
+        )
+
+
+class ChannelSet:
+    """The per-job registry and message plumbing for channels."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self._channels: Dict[int, Channel] = {}
+
+    def create(self, channel_id: int, producer: int, consumer: int,
+               window: int = 16) -> Channel:
+        if channel_id in self._channels:
+            raise ValueError(f"channel {channel_id} already exists")
+        for node in (producer, consumer):
+            if not 0 <= node < self.num_nodes:
+                raise ValueError(f"node {node} out of range")
+        channel = Channel(channel_id, producer, consumer, window)
+        self._channels[channel_id] = channel
+        return channel
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, rt: UdmRuntime, channel_id: int, item: Any) -> Generator:
+        """Send one item downstream; blocks when the window is full."""
+        channel = self._channels[channel_id]
+        if rt.node_index != channel.producer:
+            raise RuntimeError("put from a non-producer node")
+        while channel.credits == 0:
+            channel._credit_event = Event(f"chan{channel_id}.credit")
+            yield channel._credit_event
+        channel.credits -= 1
+        channel.items_sent += 1
+        yield from rt.inject(channel.consumer, self._h_item,
+                             (channel_id, item))
+
+    def _h_item(self, rt: UdmRuntime, msg) -> Generator:
+        channel_id, item = msg.payload
+        yield from rt.dispose_current()
+        yield Compute(10)
+        channel = self._channels[channel_id]
+        channel._items.append(item)
+        if channel._data_event is not None and \
+                not channel._data_event.triggered:
+            event, channel._data_event = channel._data_event, None
+            event.trigger()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def take(self, rt: UdmRuntime, channel_id: int) -> Generator:
+        """Take the next item (blocking); returns a credit upstream."""
+        channel = self._channels[channel_id]
+        if rt.node_index != channel.consumer:
+            raise RuntimeError("take from a non-consumer node")
+        while not channel._items:
+            channel._data_event = Event(f"chan{channel_id}.data")
+            yield channel._data_event
+        item = channel._items.popleft()
+        channel.items_taken += 1
+        yield from rt.inject(channel.producer, self._h_credit,
+                             (channel_id,))
+        return item
+
+    def _h_credit(self, rt: UdmRuntime, msg) -> Generator:
+        (channel_id,) = msg.payload
+        yield from rt.dispose_current()
+        yield Compute(5)
+        channel = self._channels[channel_id]
+        channel.credits += 1
+        if channel._credit_event is not None and \
+                not channel._credit_event.triggered:
+            event, channel._credit_event = channel._credit_event, None
+            event.trigger()

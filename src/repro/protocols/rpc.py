@@ -1,0 +1,127 @@
+"""RPC over UDM: correlated request/response with server procedures.
+
+One :class:`RpcEndpoint` is shared by all nodes of a job (its per-node
+state is keyed by node index, mirroring node-local memory). Servers
+register procedures by name; clients issue blocking calls::
+
+    rpc = RpcEndpoint(num_nodes)
+    rpc.register("add", lambda rt, a, b: a + b)
+
+    # in a main thread:
+    result = yield from rpc.call(rt, server=2, proc="add", args=(1, 2))
+
+Procedures may be plain functions (computed inline in the handler) or
+generator functions (they may yield ``Compute``/events — e.g. to model
+service time or perform nested communication).
+
+The request handler runs as a normal UDM upcall: it disposes, executes
+the procedure, and replies — so a server node in buffered mode serves
+RPCs from its software buffer transparently, and calls survive
+gang-scheduling gaps without any RPC-level retry machinery.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.machine.processor import Compute
+from repro.core.udm import UdmRuntime
+from repro.sim.events import Event
+
+
+class RpcError(RuntimeError):
+    """A remote procedure raised or was not found."""
+
+
+class _PendingCall:
+    __slots__ = ("event", "result", "failed")
+
+    def __init__(self, call_id: int) -> None:
+        self.event = Event(f"rpc:{call_id}")
+        self.result: Any = None
+        self.failed: Optional[str] = None
+
+
+class RpcEndpoint:
+    """A job-wide RPC fabric over UDM messages."""
+
+    def __init__(self, num_nodes: int, request_overhead: int = 30,
+                 reply_overhead: int = 15) -> None:
+        self.num_nodes = num_nodes
+        self.request_overhead = request_overhead
+        self.reply_overhead = reply_overhead
+        self._procs: Dict[str, Callable] = {}
+        self._pending: Dict[Tuple[int, int], _PendingCall] = {}
+        self._call_ids = itertools.count(1)
+        self.calls_issued = 0
+        self.calls_served = 0
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def register(self, name: str, proc: Callable) -> None:
+        """Register a procedure, callable from any node."""
+        if name in self._procs:
+            raise ValueError(f"procedure {name!r} already registered")
+        self._procs[name] = proc
+
+    def _h_request(self, rt: UdmRuntime, msg) -> Generator:
+        caller, call_id, name = msg.payload[:3]
+        args = msg.payload[3:]
+        yield from rt.dispose_current()
+        yield Compute(self.request_overhead)
+        proc = self._procs.get(name)
+        if proc is None:
+            yield from rt.inject(caller, self._h_reply,
+                                 (call_id, 1, f"no procedure {name!r}"))
+            return
+        try:
+            if inspect.isgeneratorfunction(proc):
+                result = yield from proc(rt, *args)
+            else:
+                result = proc(rt, *args)
+        except Exception as exc:  # the remote error travels back
+            yield from rt.inject(caller, self._h_reply,
+                                 (call_id, 1, repr(exc)))
+            return
+        self.calls_served += 1
+        yield from rt.inject(caller, self._h_reply, (call_id, 0, result))
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def _h_reply(self, rt: UdmRuntime, msg) -> Generator:
+        call_id, failed, payload = msg.payload
+        yield from rt.dispose_current()
+        yield Compute(self.reply_overhead)
+        pending = self._pending.pop((rt.node_index, call_id), None)
+        if pending is None:
+            return  # stale reply (cancelled caller)
+        if failed:
+            pending.failed = payload
+        else:
+            pending.result = payload
+        pending.event.trigger()
+
+    def call(self, rt: UdmRuntime, server: int, proc: str,
+             args: Tuple[Any, ...] = ()) -> Generator:
+        """Blocking remote procedure call; returns the result."""
+        if not 0 <= server < self.num_nodes:
+            raise ValueError(f"server node {server} out of range")
+        call_id = next(self._call_ids)
+        pending = _PendingCall(call_id)
+        self._pending[(rt.node_index, call_id)] = pending
+        self.calls_issued += 1
+        yield Compute(10)  # stub marshalling
+        yield from rt.inject(server, self._h_request,
+                             (rt.node_index, call_id, proc, *args))
+        if not pending.event.triggered:
+            yield pending.event
+        if pending.failed is not None:
+            raise RpcError(
+                f"remote call {proc!r} on node {server} failed: "
+                f"{pending.failed}"
+            )
+        return pending.result

@@ -1,0 +1,114 @@
+"""Tagged send/receive over UDM (the MPI-flavoured two-sided layer).
+
+Eager protocol: ``send`` injects immediately; the receiver's handler
+either satisfies a posted matching ``recv`` or queues the message in
+the per-node *unexpected queue*. ``recv`` first searches the unexpected
+queue, then posts itself and blocks. Matching is (source, tag) with
+wildcards, FIFO within a match class — the standard two-sided
+semantics, built entirely from UDM primitives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.machine.processor import Compute
+from repro.core.udm import UdmRuntime
+from repro.sim.events import Event
+
+#: Wildcards for ``recv``.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class _PostedRecv:
+    __slots__ = ("source", "tag", "event", "matched")
+
+    def __init__(self, source: int, tag: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.event = Event("sendrecv:recv")
+        self.matched: Optional[Tuple[int, int, Tuple[Any, ...]]] = None
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (
+            (self.source == ANY_SOURCE or self.source == source)
+            and (self.tag == ANY_TAG or self.tag == tag)
+        )
+
+
+class SendRecv:
+    """Per-job two-sided messaging endpoint."""
+
+    def __init__(self, num_nodes: int, match_overhead: int = 20) -> None:
+        self.num_nodes = num_nodes
+        self.match_overhead = match_overhead
+        #: (source, tag, payload) triples not yet received, per node.
+        self._unexpected: Dict[int, Deque[Tuple[int, int, Tuple]]] = {
+            n: deque() for n in range(num_nodes)
+        }
+        self._posted: Dict[int, List[_PostedRecv]] = {
+            n: [] for n in range(num_nodes)
+        }
+        self.eager_sends = 0
+        self.unexpected_peak = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, rt: UdmRuntime, dst: int, tag: int,
+             payload: Tuple[Any, ...] = ()) -> Generator:
+        """Eager tagged send (returns when the message is injected)."""
+        self.eager_sends += 1
+        yield from rt.inject(dst, self._h_eager,
+                             (rt.node_index, tag, *payload))
+
+    def _h_eager(self, rt: UdmRuntime, msg) -> Generator:
+        source, tag = msg.payload[:2]
+        payload = msg.payload[2:]
+        yield from rt.dispose_current()
+        yield Compute(self.match_overhead)
+        node = rt.node_index
+        for posted in self._posted[node]:
+            if posted.matched is None and posted.matches(source, tag):
+                posted.matched = (source, tag, payload)
+                posted.event.trigger()
+                return
+        queue = self._unexpected[node]
+        queue.append((source, tag, payload))
+        if len(queue) > self.unexpected_peak:
+            self.unexpected_peak = len(queue)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def recv(self, rt: UdmRuntime, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns (source, tag, payload)."""
+        node = rt.node_index
+        yield Compute(self.match_overhead)
+        queue = self._unexpected[node]
+        for index, (msg_source, msg_tag, payload) in enumerate(queue):
+            if (
+                (source == ANY_SOURCE or source == msg_source)
+                and (tag == ANY_TAG or tag == msg_tag)
+            ):
+                del queue[index]
+                return (msg_source, msg_tag, payload)
+        posted = _PostedRecv(source, tag)
+        self._posted[node].append(posted)
+        yield posted.event
+        self._posted[node].remove(posted)
+        return posted.matched
+
+    def probe(self, rt: UdmRuntime, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> bool:
+        """Non-blocking: is a matching unexpected message queued?"""
+        for msg_source, msg_tag, _payload in self._unexpected[rt.node_index]:
+            if (
+                (source == ANY_SOURCE or source == msg_source)
+                and (tag == ANY_TAG or tag == msg_tag)
+            ):
+                return True
+        return False

@@ -1,0 +1,221 @@
+"""The discrete-event engine: clock, event heap and generator processes.
+
+The engine is deliberately small. All simulation behaviour above it is
+expressed either as scheduled callbacks or as *processes* — Python
+generators that yield:
+
+* ``Delay(cycles)`` — resume after ``cycles`` simulated cycles;
+* an :class:`~repro.sim.events.Event` — resume when it triggers, with
+  ``event.value`` sent into the generator.
+
+Processes may also raise ``StopIteration`` (returning a value) which
+triggers the process's ``done`` event, so processes can wait for each
+other by yielding ``other_process.done``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside the simulation kernel."""
+
+
+class Delay:
+    """Yielded by a process to advance simulated time by ``cycles``."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative delay: {cycles}")
+        self.cycles = int(cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.cycles})"
+
+
+class _ScheduledCall:
+    """Heap entry; ``cancelled`` makes removal O(1) (lazy deletion)."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "_ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A generator coroutine driven by the engine.
+
+    The process finishes when the generator returns; its return value is
+    delivered on the ``done`` event. Uncaught exceptions in a process are
+    re-raised out of :meth:`Engine.run` — silent process death hides
+    bugs.
+    """
+
+    __slots__ = ("engine", "gen", "name", "done", "_waiting_on")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(f"{self.name}.done")
+        self._waiting_on: Optional[Event] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def _step(self, send_value: Any = None) -> None:
+        engine = self.engine
+        try:
+            target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        if isinstance(target, Delay):
+            engine.call_at(engine.now + target.cycles, self._step)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target.subscribe(self._on_event)
+        elif isinstance(target, Process):
+            self._waiting_on = target.done
+            target.done.subscribe(self._on_event)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported {target!r}"
+            )
+
+    def _on_event(self, value: Any) -> None:
+        self._waiting_on = None
+        self._step(value)
+
+    def interrupt_wait(self) -> bool:
+        """Detach the process from the event it is waiting on.
+
+        Used by preemption machinery (the processor model) to steal a
+        process back from a wait. Returns True if a wait was cancelled.
+        The caller becomes responsible for stepping the process again.
+        """
+        if self._waiting_on is None:
+            return False
+        self._waiting_on.unsubscribe(self._on_event)
+        self._waiting_on = None
+        return True
+
+    def resume(self, send_value: Any = None) -> None:
+        """Step the process immediately (used after ``interrupt_wait``)."""
+        self._step(send_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """The global event heap and simulated clock (integer cycles)."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[_ScheduledCall] = []
+        self._seq: int = 0
+        self._events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, time: int, fn: Callable[[], None]) -> _ScheduledCall:
+        """Schedule ``fn()`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        self._seq += 1
+        entry = _ScheduledCall(int(time), self._seq, fn)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def call_after(self, delay: int, fn: Callable[[], None]) -> _ScheduledCall:
+        """Schedule ``fn()`` after ``delay`` cycles."""
+        return self.call_at(self.now + int(delay), fn)
+
+    def timeout(self, delay: int, event: Event, value: Any = None) -> _ScheduledCall:
+        """Trigger ``event`` with ``value`` after ``delay`` cycles."""
+        return self.call_after(delay, lambda: event.trigger(value))
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start driving generator ``gen`` as a process (first step now)."""
+        proc = Process(self, gen, name)
+        # Defer the first step to the event loop so that creation order
+        # does not interleave half-started coroutines.
+        self.call_at(self.now, proc._step)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[int]:
+        """Earliest pending event time, or None when the heap is empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def step(self) -> bool:
+        """Run the single earliest event. Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            self._events_executed += 1
+            entry.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap is empty, ``until`` cycles, or
+        ``max_events`` events have executed. Returns the final time."""
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and self.now < until and self.peek_time() is None:
+            self.now = until
+        return self.now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self.now} pending={len(self._heap)}>"

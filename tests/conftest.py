@@ -1,0 +1,82 @@
+"""Shared fixtures and helper applications for the test suite."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+import pytest
+
+from repro.apps.base import Application
+from repro.core.udm import UdmRuntime
+from repro.experiments.config import SimulationConfig
+from repro.machine.machine import Machine
+from repro.machine.processor import Compute
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+def make_machine(num_nodes: int = 2, **overrides) -> Machine:
+    """A small machine with test-friendly defaults."""
+    config = SimulationConfig(num_nodes=num_nodes, **overrides)
+    return Machine(config)
+
+
+class ScriptedApplication(Application):
+    """Runs a user-supplied generator function per node.
+
+    ``script(app, rt, node_index)`` lets tests write ad-hoc behaviour
+    without defining an Application subclass each time.
+    """
+
+    name = "scripted"
+
+    def __init__(self, script, name: str = "scripted") -> None:
+        self.script = script
+        self.name = name
+        self.log: List = []
+        self.done_nodes: List[int] = []
+
+    def main(self, rt: UdmRuntime, node_index: int) -> Generator:
+        yield from self.script(self, rt, node_index)
+        self.done_nodes.append(node_index)
+
+
+class SinkApplication(Application):
+    """Node 0 sends ``count`` messages to node 1; node 1 records them."""
+
+    name = "sink"
+
+    def __init__(self, count: int = 10, payload_words: int = 0,
+                 gap: int = 50) -> None:
+        self.count = count
+        self.payload_words = payload_words
+        self.gap = gap
+        self.received: List[tuple] = []
+
+    def _h_sink(self, rt: UdmRuntime, msg) -> Generator:
+        yield from rt.dispose_current()
+        yield Compute(4)
+        self.received.append(msg.payload)
+
+    def main(self, rt: UdmRuntime, node_index: int) -> Generator:
+        if node_index == 0:
+            for i in range(self.count):
+                yield Compute(self.gap)
+                payload = (i,) + tuple(range(self.payload_words))
+                yield from rt.inject(1, self._h_sink, payload)
+        while len(self.received) < self.count:
+            yield Compute(100)
+
+
+def run_app(app: Application, num_nodes: int = 2, limit: int = 50_000_000,
+            **overrides):
+    """Build, run to completion, return (machine, job)."""
+    machine = make_machine(num_nodes=num_nodes, **overrides)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=limit)
+    return machine, job

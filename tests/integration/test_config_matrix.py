@@ -1,0 +1,79 @@
+"""Configuration matrix: the features must compose.
+
+Runs a synchronizing workload (barrier) and a streaming one (synth)
+under combinations of architecture, timeout policy, atomicity mode and
+buffering switches — each exercising different code paths together —
+and checks the workload still computes the right answer.
+"""
+
+import pytest
+
+from repro.apps.barrier import BarrierApplication
+from repro.apps.synth import SynthApplication
+from repro.core.atomicity import TimeoutPolicy
+from repro.core.costs import AtomicityMode
+from repro.core.two_case import DeliveryArchitecture
+
+from tests.conftest import make_machine
+
+
+def run_barrier(**config):
+    machine = make_machine(num_nodes=4, **config)
+    app = BarrierApplication(iterations=30, num_nodes=4)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=1_000_000_000)
+    assert app.completed == [30] * 4
+    return machine, job
+
+
+def run_synth(**config):
+    machine = make_machine(num_nodes=4, **config)
+    app = SynthApplication(group_size=20, t_betw=150,
+                           total_messages_per_node=100, num_nodes=4)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=1_000_000_000)
+    assert sum(app.replies_received) == 400
+    return machine, job
+
+
+CONFIGS = [
+    {},
+    {"atomicity_mode": AtomicityMode.KERNEL},
+    {"atomicity_mode": AtomicityMode.SOFT},
+    {"timeout_policy": TimeoutPolicy.WATCHDOG},
+    {"force_buffered": True},
+    {"architecture": DeliveryArchitecture.MEMORY_BASED},
+    {"architecture": DeliveryArchitecture.MEMORY_BASED,
+     "pinned_pages_per_job": 2},
+    {"skew_fraction": 0.3, "timeslice": 20_000},
+    {"ni_input_queue": 1, "fabric_credits": 4},
+    {"atomicity_timeout": 1_000},
+    {"net_base_latency": 100, "net_per_word_latency": 5},
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=[str(sorted(c)) for c in CONFIGS])
+def test_barrier_correct_under_config(config):
+    run_barrier(**config)
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=[str(sorted(c)) for c in CONFIGS])
+def test_synth_correct_under_config(config):
+    run_synth(**config)
+
+
+def test_buffered_configs_actually_buffer():
+    _machine, job = run_barrier(force_buffered=True)
+    assert job.two_case.fast_messages == 0
+    _machine2, job2 = run_barrier(
+        architecture=DeliveryArchitecture.MEMORY_BASED)
+    assert job2.two_case.fast_messages == 0
+
+
+def test_default_config_stays_fast():
+    _machine, job = run_barrier()
+    assert job.two_case.buffered_messages == 0

@@ -1,0 +1,266 @@
+"""The protocol library (RPC, send/receive, channels) over UDM."""
+
+import pytest
+
+from repro.machine.processor import Compute
+from repro.protocols.channels import ChannelSet
+from repro.protocols.rpc import RpcEndpoint, RpcError
+from repro.protocols.sendrecv import ANY_SOURCE, ANY_TAG, SendRecv
+
+from tests.conftest import ScriptedApplication, make_machine, run_app
+
+
+class TestRpc:
+    def test_blocking_call_returns_result(self):
+        rpc = RpcEndpoint(2)
+        rpc.register("add", lambda rt, a, b: a + b)
+        results = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                value = yield from rpc.call(rt, server=1, proc="add",
+                                            args=(19, 23))
+                results.append(value)
+            else:
+                yield Compute(50_000)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert results == [42]
+        assert rpc.calls_issued == 1 and rpc.calls_served == 1
+
+    def test_generator_procedure_with_service_time(self):
+        rpc = RpcEndpoint(2)
+
+        def slow_square(rt, x):
+            yield Compute(5_000)
+            return x * x
+
+        rpc.register("square", slow_square)
+        results = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                start = rt.engine.now
+                value = yield from rpc.call(rt, 1, "square", (7,))
+                results.append((value, rt.engine.now - start))
+            else:
+                yield Compute(50_000)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert results[0][0] == 49
+        assert results[0][1] >= 5_000  # the service time was paid
+
+    def test_unknown_procedure_raises_rpc_error(self):
+        rpc = RpcEndpoint(2)
+        failures = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                try:
+                    yield from rpc.call(rt, 1, "missing")
+                except RpcError as exc:
+                    failures.append(str(exc))
+            else:
+                yield Compute(50_000)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert failures and "missing" in failures[0]
+
+    def test_remote_exception_propagates(self):
+        rpc = RpcEndpoint(2)
+
+        def boom(rt):
+            raise ValueError("server-side")
+
+        rpc.register("boom", boom)
+        failures = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                try:
+                    yield from rpc.call(rt, 1, "boom")
+                except RpcError as exc:
+                    failures.append(str(exc))
+            else:
+                yield Compute(50_000)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert failures and "server-side" in failures[0]
+
+    def test_concurrent_calls_correlate_correctly(self):
+        rpc = RpcEndpoint(4)
+        rpc.register("ident", lambda rt, x: (rt.node_index, x))
+        results = {}
+
+        def script(app, rt, idx):
+            if idx == 3:
+                yield Compute(200_000)
+                return
+            collected = []
+            for i in range(10):
+                value = yield from rpc.call(rt, 3, "ident", (idx * 100 + i,))
+                collected.append(value)
+            results[idx] = collected
+
+        run_app(ScriptedApplication(script), num_nodes=4,
+                limit=50_000_000)
+        for idx in range(3):
+            assert results[idx] == [(3, idx * 100 + i) for i in range(10)]
+
+    def test_rpc_survives_buffered_mode(self):
+        """An RPC issued at a server stuck in buffered mode completes
+        through the software buffer (two-case transparency)."""
+        rpc = RpcEndpoint(2)
+        rpc.register("echo", lambda rt, x: x)
+        results = []
+
+        def script(app, rt, idx):
+            if idx == 1:
+                yield from rt.force_buffered_mode()
+                yield Compute(200_000)
+            else:
+                value = yield from rpc.call(rt, 1, "echo", ("hello",))
+                results.append(value)
+
+        machine, job = run_app(ScriptedApplication(script),
+                               limit=50_000_000)
+        assert results == ["hello"]
+        assert job.two_case.buffered_messages >= 1
+
+
+class TestSendRecv:
+    def test_eager_then_recv_from_unexpected_queue(self):
+        sr = SendRecv(2)
+        got = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                yield from sr.send(rt, 1, tag=7, payload=("data",))
+            else:
+                yield Compute(10_000)  # message arrives before recv
+                result = yield from sr.recv(rt, source=0, tag=7)
+                got.append(result)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert got == [(0, 7, ("data",))]
+
+    def test_posted_recv_blocks_until_send(self):
+        sr = SendRecv(2)
+        got = []
+
+        def script(app, rt, idx):
+            if idx == 1:
+                result = yield from sr.recv(rt)
+                got.append((result, rt.engine.now))
+            else:
+                yield Compute(20_000)
+                yield from sr.send(rt, 1, tag=3, payload=(99,))
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        (source, tag, payload), when = got[0]
+        assert (source, tag, payload) == (0, 3, (99,))
+        assert when >= 20_000
+
+    def test_tag_matching_with_wildcards(self):
+        sr = SendRecv(2)
+        got = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                yield from sr.send(rt, 1, tag=1, payload=("a",))
+                yield from sr.send(rt, 1, tag=2, payload=("b",))
+            else:
+                yield Compute(20_000)
+                by_tag = yield from sr.recv(rt, tag=2)
+                any_msg = yield from sr.recv(rt, source=ANY_SOURCE,
+                                             tag=ANY_TAG)
+                got.append((by_tag, any_msg))
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        by_tag, any_msg = got[0]
+        assert by_tag[2] == ("b",)
+        assert any_msg[2] == ("a",)
+
+    def test_fifo_within_match_class(self):
+        sr = SendRecv(2)
+        got = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                for i in range(5):
+                    yield from sr.send(rt, 1, tag=0, payload=(i,))
+            else:
+                for _ in range(5):
+                    result = yield from sr.recv(rt, source=0, tag=0)
+                    got.append(result[2][0])
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_probe_sees_unexpected(self):
+        sr = SendRecv(2)
+        observations = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                yield from sr.send(rt, 1, tag=4, payload=())
+            else:
+                yield Compute(20_000)
+                observations.append(sr.probe(rt, tag=4))
+                observations.append(sr.probe(rt, tag=9))
+                yield from sr.recv(rt, tag=4)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)
+        assert observations == [True, False]
+
+
+class TestChannels:
+    def test_stream_preserves_order(self):
+        channels = ChannelSet(2)
+        channels.create(0, producer=0, consumer=1, window=4)
+        got = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                for i in range(20):
+                    yield from channels.put(rt, 0, i)
+            else:
+                for _ in range(20):
+                    item = yield from channels.take(rt, 0)
+                    got.append(item)
+
+        run_app(ScriptedApplication(script), limit=20_000_000)
+        assert got == list(range(20))
+
+    def test_window_bounds_outstanding_items(self):
+        channels = ChannelSet(2)
+        channel = channels.create(0, producer=0, consumer=1, window=3)
+        progress = []
+
+        def script(app, rt, idx):
+            if idx == 0:
+                for i in range(10):
+                    yield from channels.put(rt, 0, i)
+                    progress.append((rt.engine.now, i))
+            else:
+                yield Compute(50_000)  # slow consumer: window fills
+                for _ in range(10):
+                    yield from channels.take(rt, 0)
+
+        run_app(ScriptedApplication(script), limit=20_000_000)
+        # The fourth put could not complete before the consumer woke.
+        fourth_put_time = progress[3][0]
+        assert fourth_put_time >= 50_000
+        assert channel.items_taken == 10
+
+    def test_role_enforcement(self):
+        channels = ChannelSet(2)
+        channels.create(0, producer=0, consumer=1)
+
+        def script(app, rt, idx):
+            if idx == 1:
+                with pytest.raises(RuntimeError):
+                    yield from channels.put(rt, 0, "nope")
+            yield Compute(10)
+
+        run_app(ScriptedApplication(script), limit=10_000_000)

@@ -1,0 +1,91 @@
+"""Message tracing: Figure 2/5 timelines reconstructed from live runs."""
+
+from repro.analysis.trace import TraceEvent
+from repro.machine.processor import Compute
+
+from tests.conftest import ScriptedApplication, make_machine
+
+
+def _run_traced(flip_buffered: bool):
+    got = []
+
+    def handler(rt, msg):
+        yield from rt.dispose_current()
+        yield Compute(4)
+        got.append(msg.msg_id)
+
+    def script(app, rt, idx):
+        if idx == 1:
+            if flip_buffered:
+                yield from rt.force_buffered_mode()
+            while len(got) < 5:
+                yield Compute(500)
+        else:
+            for i in range(5):
+                yield Compute(200)
+                yield from rt.inject(1, handler, (i,))
+            while len(got) < 5:
+                yield Compute(500)
+
+    machine = make_machine(num_nodes=2)
+    tracer = machine.enable_tracing()
+    app = ScriptedApplication(script)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=20_000_000)
+    return tracer, got
+
+
+class TestFastPathTimeline:
+    def test_events_in_causal_order(self):
+        tracer, got = _run_traced(flip_buffered=False)
+        for msg_id in got:
+            trace = tracer.trace_of(msg_id)
+            inject = trace.time_of(TraceEvent.INJECT)
+            deliver = trace.time_of(TraceEvent.DELIVER)
+            handled = trace.time_of(TraceEvent.HANDLED)
+            assert inject is not None
+            assert inject <= deliver <= handled
+            assert not trace.was_buffered
+
+    def test_fast_latency_matches_cost_model(self):
+        tracer, got = _run_traced(flip_buffered=False)
+        summary = tracer.summary()
+        assert summary["buffered"] == 0
+        # Wire (15) + receive entry (54) + handler <= latency <= a
+        # generous bound; the exact decomposition is bench territory.
+        assert 60 < summary["mean_latency_fast"] < 200
+
+    def test_render_timeline_is_readable(self):
+        tracer, got = _run_traced(flip_buffered=False)
+        text = tracer.render_timeline(got[0])
+        assert "inject" in text
+        assert "handled" in text
+
+
+class TestBufferedPathTimeline:
+    def test_buffered_messages_show_insert_stage(self):
+        tracer, got = _run_traced(flip_buffered=True)
+        buffered = [t for t in tracer.complete_traces() if t.was_buffered]
+        assert buffered
+        for trace in buffered:
+            insert = trace.time_of(TraceEvent.BUFFER_INSERT)
+            handled = trace.time_of(TraceEvent.HANDLED)
+            assert insert is not None and insert <= handled
+
+    def test_buffered_latency_exceeds_fast(self):
+        fast_tracer, _ = _run_traced(flip_buffered=False)
+        buf_tracer, _ = _run_traced(flip_buffered=True)
+        assert (buf_tracer.summary()["mean_latency_buffered"]
+                > fast_tracer.summary()["mean_latency_fast"])
+
+
+class TestTracerLimits:
+    def test_record_limit_drops_excess(self):
+        from repro.analysis.trace import MessageTracer
+
+        tracer = MessageTracer(limit=3)
+        for i in range(5):
+            tracer.record(i, TraceEvent.INJECT, i, 0)
+        assert tracer.records == 3
+        assert tracer.dropped == 2

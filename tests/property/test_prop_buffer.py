@@ -1,0 +1,91 @@
+"""Property tests: the virtual buffer's invariants under arbitrary
+insert/pop interleavings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.glaze.buffering import VirtualBuffer
+from repro.glaze.vm import AddressSpace, OutOfFrames, PageFramePool
+from repro.network.message import Message
+
+
+def make_buffer(frames=64, page_words=32):
+    pool = PageFramePool(0, frames)
+    return VirtualBuffer(AddressSpace(pool, page_size_words=page_words)), pool
+
+
+#: An operation stream: payload sizes for inserts, None for pops.
+ops_strategy = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=14), st.none()),
+    max_size=200,
+)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_buffer_invariants_hold_under_any_interleaving(ops):
+    buf, pool = make_buffer()
+    inserted = []
+    popped = []
+    seq = 0
+    for op in ops:
+        if op is None:
+            if not buf.empty:
+                popped.append(buf.pop().payload[0])
+        else:
+            msg = Message(dst=0, handler="h", gid=1,
+                          payload=(seq,) + tuple(range(op)))
+            seq += 1
+            buf.insert(msg)
+            inserted.append(msg.payload[0])
+        buf.audit()
+        # Pages never exceed what the live words require.
+        assert buf.pages_in_use <= len(buf) + 1 or buf.pages_in_use <= (
+            sum(2 + 14 for _ in range(len(buf))) // buf.page_size_words + 1
+        )
+    # FIFO: what came out is a prefix of what went in, in order.
+    assert popped == inserted[:len(popped)]
+    # Draining completely releases every frame.
+    while not buf.empty:
+        buf.pop()
+    buf.audit()
+    assert buf.pages_in_use == 0
+    assert pool.frames_in_use == 0
+
+
+@given(sizes=st.lists(st.integers(min_value=0, max_value=14),
+                      min_size=1, max_size=120))
+@settings(max_examples=100, deadline=None)
+def test_page_accounting_matches_word_usage(sizes):
+    """Pages allocated must equal a first-fit packing of the stream."""
+    buf, _pool = make_buffer(page_words=64)
+    expected_pages = 0
+    room = 0
+    for words in sizes:
+        need = 2 + words
+        if need > room:
+            expected_pages += 1
+            room = 64
+        room -= need
+        buf.insert(Message(dst=0, handler="h", gid=1,
+                           payload=tuple(range(words))))
+    assert buf.stats.pages_allocated == expected_pages
+
+
+@given(count=st.integers(min_value=1, max_value=64))
+@settings(max_examples=50, deadline=None)
+def test_out_of_frames_is_raised_exactly_at_capacity(count):
+    pool = PageFramePool(0, count)
+    space = AddressSpace(pool, page_size_words=16)
+    buf = VirtualBuffer(space)
+    # Each 16-word page fits exactly one 14-payload (16-word) message.
+    for _ in range(count):
+        buf.insert(Message(dst=0, handler="h", gid=1,
+                           payload=tuple(range(14))))
+    try:
+        buf.insert(Message(dst=0, handler="h", gid=1,
+                           payload=tuple(range(14))))
+        raised = False
+    except OutOfFrames:
+        raised = True
+    assert raised

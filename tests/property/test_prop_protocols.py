@@ -1,0 +1,94 @@
+"""Property tests for the protocol library under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.processor import Compute
+from repro.protocols.sendrecv import SendRecv
+from repro.protocols.rpc import RpcEndpoint
+
+from tests.conftest import ScriptedApplication, make_machine
+
+NODES = 3
+
+#: A send plan: (destination, tag, pre-send delay) per message, per node.
+plan_strategy = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=NODES - 1),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=300),
+        ),
+        max_size=8,
+    ),
+    min_size=NODES, max_size=NODES,
+)
+
+
+@given(plan=plan_strategy)
+@settings(max_examples=50, deadline=None)
+def test_sendrecv_delivers_everything_exactly_once_in_order(plan):
+    sr = SendRecv(NODES)
+    expected = {n: 0 for n in range(NODES)}
+    for sender, sends in enumerate(plan):
+        for dst, _tag, _delay in sends:
+            expected[dst] += 1
+    received = {n: [] for n in range(NODES)}
+
+    def script(app, rt, idx):
+        seq = 0
+        for dst, tag, delay in plan[idx]:
+            if delay:
+                yield Compute(delay)
+            yield from sr.send(rt, dst, tag, payload=(idx, seq))
+            seq += 1
+        while len(received[idx]) < expected[idx]:
+            result = yield from sr.recv(rt)
+            received[idx].append(result)
+
+    machine = make_machine(num_nodes=NODES)
+    app = ScriptedApplication(script)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=200_000_000)
+
+    total = sum(len(msgs) for msgs in received.values())
+    assert total == sum(expected.values())
+    # Per (source, tag) FIFO: sequence numbers increase.
+    for node, msgs in received.items():
+        last_seq = {}
+        for source, tag, payload in msgs:
+            sender, seq = payload
+            key = (sender, tag)
+            assert last_seq.get(key, -1) < seq
+            last_seq[key] = seq
+
+
+@given(
+    calls=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=0, max_value=400)),
+        min_size=1, max_size=10,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_rpc_every_call_gets_its_own_answer(calls):
+    rpc = RpcEndpoint(2)
+    rpc.register("double", lambda rt, x: 2 * x)
+    results = []
+
+    def script(app, rt, idx):
+        if idx == 1:
+            yield Compute(100_000)
+            return
+        for value, delay in calls:
+            if delay:
+                yield Compute(delay)
+            answer = yield from rpc.call(rt, 1, "double", (value,))
+            results.append((value, answer))
+
+    machine = make_machine(num_nodes=2)
+    job = machine.add_job(ScriptedApplication(script))
+    machine.start()
+    machine.run_until_job_done(job, limit=200_000_000)
+    assert results == [(v, 2 * v) for v, _d in calls]

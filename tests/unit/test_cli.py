@@ -1,0 +1,48 @@
+"""CLI: argument parsing and the fast end-to-end commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table4_defaults(self):
+        args = build_parser().parse_args(["table4"])
+        assert args.rounds == 300
+
+    def test_fig7_accepts_skew_list(self):
+        args = build_parser().parse_args(
+            ["fig7", "--skews", "0", "0.1", "--trials", "1"]
+        )
+        assert args.skews == [0.0, 0.1]
+        assert args.trials == 1
+
+    def test_fig9_messages_knob(self):
+        args = build_parser().parse_args(["fig9", "--messages", "500"])
+        assert args.messages == 500
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_table4_runs_and_prints(self, capsys):
+        assert main(["table4", "--rounds", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "87" in out  # the hard-atomicity total
+
+    def test_table5_runs_and_prints(self, capsys):
+        assert main(["table5", "--rounds", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "232" in out
+
+    def test_table6_fast_scale(self, capsys):
+        assert main(["table6", "--scale", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "barrier" in out and "lu" in out

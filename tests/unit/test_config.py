@@ -1,0 +1,73 @@
+"""Unit tests for the simulation configuration and workload registry."""
+
+import pytest
+
+from repro.core.costs import AtomicityMode
+from repro.experiments.config import SimulationConfig
+from repro.experiments.workloads import (
+    MODELS, WORKLOAD_NAMES, make_workload,
+)
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper_environment(self):
+        config = SimulationConfig()
+        assert config.num_nodes == 8
+        assert config.timeslice == 500_000
+        assert config.skew_fraction == 0.0
+
+    def test_cost_model_carries_mode_and_extra(self):
+        config = SimulationConfig(atomicity_mode=AtomicityMode.SOFT,
+                                  buffer_insert_extra=100)
+        model = config.cost_model()
+        assert model.mode is AtomicityMode.SOFT
+        assert model.buffered.insert_extra == 100
+
+    def test_with_skew_and_seed_are_pure(self):
+        base = SimulationConfig()
+        skewed = base.with_skew(0.1)
+        seeded = base.with_seed(9)
+        assert base.skew_fraction == 0.0
+        assert skewed.skew_fraction == 0.1
+        assert seeded.seed == 9
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_nodes": 0},
+        {"timeslice": 0},
+        {"skew_fraction": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+    def test_ni_config_derived(self):
+        config = SimulationConfig(ni_input_queue=3, atomicity_timeout=99)
+        ni = config.ni_config()
+        assert ni.input_queue_capacity == 3
+        assert ni.atomicity_timeout == 99
+
+
+class TestWorkloadRegistry:
+    def test_every_registered_workload_instantiates(self):
+        for name in WORKLOAD_NAMES:
+            app = make_workload(name, seed=1, num_nodes=8, scale="fast")
+            assert app.name.startswith(name) or app.name == name
+            assert name in MODELS
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("doom")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("lu", scale="galactic")
+
+    def test_bench_scale_larger_than_fast(self):
+        fast = make_workload("lu", scale="fast")
+        bench = make_workload("lu", scale="bench")
+        assert bench.n > fast.n
+
+    def test_seeds_change_initial_data(self):
+        a = make_workload("lu", seed=1, scale="fast")
+        b = make_workload("lu", seed=2, scale="fast")
+        assert a.original != b.original

@@ -1,0 +1,82 @@
+"""The cost model must reproduce Tables 4 and 5 exactly."""
+
+import pytest
+
+from repro.core.costs import (
+    AtomicityMode, BufferedPathCosts, CostModel, FastPathCosts,
+)
+
+
+class TestTable4:
+    """Column-by-column totals from Table 4 of the paper."""
+
+    @pytest.mark.parametrize("mode,subtotal,total", [
+        (AtomicityMode.KERNEL, 32, 54),
+        (AtomicityMode.HARD, 54, 87),
+        (AtomicityMode.SOFT, 66, 115),
+    ])
+    def test_interrupt_receive_totals(self, mode, subtotal, total):
+        model = CostModel.for_mode(mode)
+        assert model.fast.receive_entry == subtotal
+        assert model.fast.receive_interrupt_total == total
+
+    @pytest.mark.parametrize("mode", list(AtomicityMode))
+    def test_send_total_is_seven(self, mode):
+        assert CostModel.for_mode(mode).fast.send_total == 7
+
+    @pytest.mark.parametrize(
+        "mode", [AtomicityMode.KERNEL, AtomicityMode.HARD]
+    )
+    def test_polling_total_is_nine(self, mode):
+        assert CostModel.for_mode(mode).fast.receive_polling_total == 9
+
+    def test_per_word_increments(self):
+        model = CostModel.for_mode(AtomicityMode.HARD)
+        assert model.send_cost(4) - model.send_cost(0) == 12  # 3/word
+        assert model.receive_handler_extra(4) == 8  # 2/word
+
+    def test_hard_mode_categories(self):
+        fast = CostModel.for_mode(AtomicityMode.HARD).fast
+        assert fast.gid_check == 10
+        assert fast.timer_setup == 1
+        assert fast.virtual_buffering_overhead == 8
+        assert fast.dispatch == 13
+        assert fast.upcall_cleanup == 10
+        assert fast.timer_cleanup == 1
+
+    def test_soft_mode_timer_emulation_costs(self):
+        fast = CostModel.for_mode(AtomicityMode.SOFT).fast
+        assert fast.timer_setup == 13
+        assert fast.timer_cleanup == 17
+
+
+class TestTable5:
+    def test_insert_costs(self):
+        buffered = BufferedPathCosts()
+        assert buffered.insert_cost(new_page=False) == 180
+        assert buffered.insert_cost(new_page=True) == 3162
+        assert buffered.vmalloc_cost == 2982
+
+    def test_per_message_total_is_232(self):
+        assert BufferedPathCosts().per_message_total == 232
+
+    def test_extract_cost_per_word(self):
+        buffered = BufferedPathCosts()
+        assert buffered.extract_cost(0) == 52
+        # "roughly 4.5 cycles per argument word"
+        assert buffered.extract_cost(10) == 52 + 45
+
+    def test_insert_extra_feeds_figure_10(self):
+        model = CostModel().with_buffer_insert_extra(500)
+        assert model.buffered.insert_cost(False) == 680
+        assert model.buffered.per_message_total == 732
+
+
+class TestModelConstruction:
+    def test_default_mode_is_hard(self):
+        assert CostModel().mode is AtomicityMode.HARD
+
+    def test_frozen(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.mode = AtomicityMode.SOFT

@@ -1,0 +1,85 @@
+"""Unit tests for CRL's data structures (no machine required)."""
+
+import pytest
+
+from repro.crl.api import Crl
+from repro.crl.protocol import FRAG_WORDS, CrlProtocol
+from repro.crl.region import (
+    Directory, HomeState, NodeRegionState, Region, RegionState,
+)
+
+
+class TestRegion:
+    def test_region_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            Region(rid=0, home=0, size_words=0)
+
+    def test_directory_starts_unowned_and_idle(self):
+        d = Directory()
+        assert d.state is HomeState.UNOWNED
+        assert not d.busy
+        assert not d.sharers
+        assert d.owner is None
+
+    def test_node_state_in_use(self):
+        ns = NodeRegionState()
+        assert not ns.in_use
+        ns.read_refs = 1
+        assert ns.in_use
+        ns.read_refs = 0
+        ns.write_refs = 2
+        assert ns.in_use
+
+
+class TestProtocolSetup:
+    def test_create_region_with_init(self):
+        proto = CrlProtocol(4)
+        proto.create_region(3, home=1, size_words=4, init_data=[1, 2, 3, 4])
+        assert proto.home_data[3] == [1, 2, 3, 4]
+        assert proto.regions[3].home == 1
+
+    def test_create_duplicate_rejected(self):
+        proto = CrlProtocol(2)
+        proto.create_region(0, 0, 4)
+        with pytest.raises(ValueError):
+            proto.create_region(0, 0, 4)
+
+    def test_init_size_mismatch_rejected(self):
+        proto = CrlProtocol(2)
+        with pytest.raises(ValueError):
+            proto.create_region(0, 0, 4, init_data=[1, 2])
+
+    def test_default_init_zero_filled(self):
+        proto = CrlProtocol(2)
+        proto.create_region(0, 0, 5)
+        assert proto.home_data[0] == [0] * 5
+
+    def test_local_copy_requires_validity(self):
+        proto = CrlProtocol(2)
+        proto.create_region(0, home=0, size_words=2)
+        with pytest.raises(RuntimeError):
+            proto.local_copy(1, 0)  # node 1 has no copy
+
+    def test_authoritative_is_home_when_unowned(self):
+        proto = CrlProtocol(2)
+        proto.create_region(0, home=0, size_words=2, init_data=[7, 8])
+        assert proto.authoritative_data(0) == [7, 8]
+
+
+class TestCrlFacade:
+    def test_home_out_of_range_rejected(self):
+        crl = Crl(2)
+        with pytest.raises(ValueError):
+            crl.create(0, home=5, size_words=4)
+
+    def test_stats_exposed(self):
+        crl = Crl(2)
+        stats = crl.stats
+        assert set(stats) == {
+            "protocol_messages", "data_fragments", "bulk_transfers",
+            "local_hits", "remote_misses",
+        }
+
+    def test_fragment_size_fits_hardware_message(self):
+        # 4 metadata words + FRAG_WORDS payload + header + handler <= 16
+        assert 2 + 4 + FRAG_WORDS <= 16

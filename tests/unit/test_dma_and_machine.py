@@ -1,0 +1,86 @@
+"""Unit tests for the DMA engine and machine assembly."""
+
+import pytest
+
+from repro.ni.dma import DmaEngine
+from repro.sim.engine import Engine
+
+from repro.apps.null_app import NullApplication
+from tests.conftest import make_machine
+
+
+class TestDmaEngine:
+    def test_transfer_completion_time(self):
+        engine = Engine()
+        dma = DmaEngine(engine, cycles_per_word=2, startup_cycles=10)
+        done = []
+        end = dma.transfer(5, on_done=lambda: done.append(engine.now))
+        assert end == 20  # 10 + 2*5
+        engine.run()
+        assert done == [20]
+
+    def test_back_to_back_transfers_serialize(self):
+        engine = Engine()
+        dma = DmaEngine(engine, cycles_per_word=1, startup_cycles=4)
+        first = dma.transfer(10)   # ends at 14
+        second = dma.transfer(10)  # starts at 14, ends at 28
+        assert first == 14
+        assert second == 28
+        assert dma.transfers == 2
+        assert dma.words_moved == 20
+
+    def test_busy_flag(self):
+        engine = Engine()
+        dma = DmaEngine(engine, cycles_per_word=1, startup_cycles=1)
+        assert not dma.busy
+        dma.transfer(100, on_done=lambda: None)
+        assert dma.busy
+        engine.run()  # advances to the completion callback at t=101
+        assert not dma.busy
+
+    def test_negative_size_rejected(self):
+        dma = DmaEngine(Engine())
+        with pytest.raises(ValueError):
+            dma.transfer(-1)
+
+
+class TestMachineAssembly:
+    def test_nodes_attached_to_fabric_and_second_network(self):
+        machine = make_machine(num_nodes=4)
+        assert len(machine.nodes) == 4
+        for node in machine.nodes:
+            assert node.ni.fabric is machine.fabric
+            assert node.kernel.machine is machine
+
+    def test_job_gids_unique_and_registered(self):
+        machine = make_machine(num_nodes=2)
+        job_a = machine.add_job(NullApplication())
+        job_b = machine.add_job(NullApplication())
+        assert job_a.gid != job_b.gid
+        assert machine.job_by_gid(job_a.gid) is job_a
+        assert machine.job_by_gid(999) is None
+
+    def test_double_start_rejected(self):
+        machine = make_machine(num_nodes=1)
+        machine.add_job(NullApplication())
+        machine.start()
+        with pytest.raises(RuntimeError):
+            machine.start()
+
+    def test_run_auto_starts(self):
+        machine = make_machine(num_nodes=1)
+        machine.add_job(NullApplication())
+        machine.run(until=50_000)
+        assert machine.engine.now == 50_000
+
+    def test_enable_tracing_returns_wired_tracer(self):
+        machine = make_machine(num_nodes=1)
+        tracer = machine.enable_tracing(limit=10)
+        assert machine.tracer is tracer
+        assert machine.fabric.tracer is tracer
+
+    def test_default_config_when_omitted(self):
+        from repro.machine.machine import Machine
+
+        machine = Machine()
+        assert machine.config.num_nodes == 8

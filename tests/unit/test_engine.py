@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Delay, Engine, SimulationError
+from repro.sim.events import Event, EventAlreadyTriggered
+
+
+class TestScheduling:
+    def test_call_after_runs_in_time_order(self, engine):
+        order = []
+        engine.call_after(20, lambda: order.append("b"))
+        engine.call_after(10, lambda: order.append("a"))
+        engine.call_after(30, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 30
+
+    def test_same_time_callbacks_run_fifo(self, engine):
+        order = []
+        for tag in ("first", "second", "third"):
+            engine.call_after(5, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cancel_prevents_execution(self, engine):
+        fired = []
+        entry = engine.call_after(10, lambda: fired.append(1))
+        entry.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cannot_schedule_in_the_past(self, engine):
+        engine.call_after(10, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(5, lambda: None)
+
+    def test_run_until_stops_clock_at_bound(self, engine):
+        engine.call_after(100, lambda: None)
+        engine.run(until=40)
+        assert engine.now == 40
+        engine.run()
+        assert engine.now == 100
+
+    def test_run_max_events(self, engine):
+        count = []
+        for _ in range(5):
+            engine.call_after(1, lambda: count.append(1))
+        engine.run(max_events=3)
+        assert len(count) == 3
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_peek_time_skips_cancelled(self, engine):
+        entry = engine.call_after(5, lambda: None)
+        engine.call_after(9, lambda: None)
+        entry.cancel()
+        assert engine.peek_time() == 9
+
+
+class TestProcesses:
+    def test_process_delays_advance_time(self, engine):
+        trace = []
+
+        def proc():
+            trace.append(engine.now)
+            yield Delay(10)
+            trace.append(engine.now)
+            yield Delay(5)
+            trace.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert trace == [0, 10, 15]
+
+    def test_process_waits_on_event(self, engine):
+        event = Event("go")
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((engine.now, value))
+
+        engine.process(waiter())
+        engine.timeout(25, event, "payload")
+        engine.run()
+        assert got == [(25, "payload")]
+
+    def test_process_return_value_on_done(self, engine):
+        def proc():
+            yield Delay(1)
+            return 42
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.finished
+        assert p.done.value == 42
+
+    def test_process_can_wait_for_process(self, engine):
+        def inner():
+            yield Delay(7)
+            return "inner-result"
+
+        results = []
+
+        def outer():
+            value = yield engine.process(inner())
+            results.append((engine.now, value))
+
+        engine.process(outer())
+        engine.run()
+        assert results == [(7, "inner-result")]
+
+    def test_already_triggered_event_resumes_immediately(self, engine):
+        event = Event()
+        event.trigger("early")
+        got = []
+
+        def proc():
+            value = yield event
+            got.append(value)
+
+        engine.process(proc())
+        engine.run()
+        assert got == ["early"]
+
+    def test_yielding_garbage_raises(self, engine):
+        def proc():
+            yield "nonsense"
+
+        engine.process(proc())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+
+class TestEvents:
+    def test_double_trigger_raises(self):
+        event = Event("x")
+        event.trigger()
+        with pytest.raises(EventAlreadyTriggered):
+            event.trigger()
+
+    def test_late_subscribe_fires_immediately(self):
+        event = Event()
+        event.trigger(5)
+        seen = []
+        event.subscribe(seen.append)
+        assert seen == [5]
+
+    def test_unsubscribe_removes_callback(self):
+        event = Event()
+        seen = []
+        event.subscribe(seen.append)
+        event.unsubscribe(seen.append)
+        event.trigger(1)
+        assert seen == []
+
+    def test_multiple_subscribers_all_fire(self):
+        event = Event()
+        seen = []
+        event.subscribe(lambda v: seen.append(("a", v)))
+        event.subscribe(lambda v: seen.append(("b", v)))
+        event.trigger(9)
+        assert seen == [("a", 9), ("b", 9)]

@@ -1,0 +1,138 @@
+"""Unit tests for Glaze components: VM, buffering, scheduler, overflow."""
+
+import pytest
+
+from repro.glaze.buffering import VirtualBuffer
+from repro.glaze.overflow import OverflowPolicy
+from repro.glaze.vm import AddressSpace, OutOfFrames, PageFramePool
+from repro.network.message import Message
+
+
+def msg(words=0, gid=1):
+    return Message(dst=0, handler="h", payload=tuple(range(words)), gid=gid)
+
+
+class TestPageFramePool:
+    def test_allocate_release_cycle(self):
+        pool = PageFramePool(0, total_frames=2)
+        pool.allocate()
+        pool.allocate()
+        assert pool.free_frames == 0
+        with pytest.raises(OutOfFrames):
+            pool.allocate()
+        pool.release()
+        assert pool.free_frames == 1
+
+    def test_min_free_watermark(self):
+        pool = PageFramePool(0, total_frames=4)
+        pool.allocate()
+        pool.allocate()
+        pool.release(2)
+        assert pool.stats.min_free == 2
+
+    def test_over_release_rejected(self):
+        pool = PageFramePool(0, total_frames=1)
+        with pytest.raises(ValueError):
+            pool.release(1)
+
+
+class TestAddressSpace:
+    def test_demand_zero_mapping(self):
+        pool = PageFramePool(0, 4)
+        space = AddressSpace(pool, page_size_words=64)
+        vpn = space.map_fresh_page()
+        assert space.is_mapped(vpn)
+        assert pool.frames_in_use == 1
+        space.unmap_page(vpn)
+        assert pool.frames_in_use == 0
+
+    def test_unmap_unknown_page_rejected(self):
+        space = AddressSpace(PageFramePool(0, 4))
+        with pytest.raises(KeyError):
+            space.unmap_page(99)
+
+    def test_page_must_fit_a_message(self):
+        with pytest.raises(ValueError):
+            AddressSpace(PageFramePool(0, 4), page_size_words=8)
+
+
+class TestVirtualBuffer:
+    def make(self, frames=8, page_words=32):
+        pool = PageFramePool(0, frames)
+        space = AddressSpace(pool, page_size_words=page_words)
+        return VirtualBuffer(space), pool
+
+    def test_fifo_order(self):
+        buf, _pool = self.make()
+        messages = [msg() for _ in range(5)]
+        for m in messages:
+            buf.insert(m)
+        assert [buf.pop() for _ in range(5)] == messages
+
+    def test_first_insert_allocates_page(self):
+        buf, pool = self.make()
+        assert buf.insert(msg()) == 1
+        assert pool.frames_in_use == 1
+        assert buf.insert(msg()) == 0  # same page
+
+    def test_page_released_when_drained(self):
+        buf, pool = self.make(page_words=32)
+        # Each null message is 2 words: 16 fit per page.
+        for _ in range(20):
+            buf.insert(msg())
+        assert buf.pages_in_use == 2
+        for _ in range(20):
+            buf.pop()
+        assert buf.pages_in_use == 0
+        assert pool.frames_in_use == 0
+
+    def test_large_messages_spill_to_new_page(self):
+        buf, _pool = self.make(page_words=32)
+        buf.insert(msg(words=12))  # 14 words
+        buf.insert(msg(words=12))  # 14 more: 28 total
+        assert buf.pages_in_use == 1
+        buf.insert(msg(words=12))  # would be 42: new page
+        assert buf.pages_in_use == 2
+
+    def test_out_of_frames_propagates(self):
+        buf, pool = self.make(frames=1, page_words=32)
+        for _ in range(16):
+            buf.insert(msg())
+        with pytest.raises(OutOfFrames):
+            buf.insert(msg())
+
+    def test_max_pages_watermark(self):
+        buf, _pool = self.make(page_words=32)
+        for _ in range(40):
+            buf.insert(msg())
+        while not buf.empty:
+            buf.pop()
+        assert buf.stats.max_pages == 3
+        assert buf.pages_in_use == 0
+
+    def test_pop_empty_raises(self):
+        buf, _pool = self.make()
+        with pytest.raises(IndexError):
+            buf.pop()
+
+    def test_buffered_flag_set(self):
+        buf, _pool = self.make()
+        m = msg()
+        buf.insert(m)
+        assert m.buffered
+
+    def test_audit_passes_through_lifecycle(self):
+        buf, _pool = self.make(page_words=32)
+        for i in range(25):
+            buf.insert(msg(words=i % 8))
+            buf.audit()
+        while not buf.empty:
+            buf.pop()
+            buf.audit()
+
+
+class TestOverflowPolicy:
+    def test_defaults_sane(self):
+        policy = OverflowPolicy()
+        assert policy.advise_pages < policy.suspend_pages
+        assert policy.suspend_duration > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the gang scheduler's mechanics."""
+
+import pytest
+
+from repro.apps.null_app import NullApplication
+from repro.glaze.scheduler import GangScheduler
+
+from tests.conftest import make_machine
+
+
+class TestOffsets:
+    def test_zero_skew_means_zero_offsets(self):
+        machine = make_machine(num_nodes=4, skew_fraction=0.0)
+        for node in range(4):
+            assert machine.scheduler.node_offset(node) == 0
+
+    def test_offsets_span_skew_fraction_of_timeslice(self):
+        machine = make_machine(num_nodes=4, skew_fraction=0.1,
+                               timeslice=100_000)
+        offsets = [machine.scheduler.node_offset(n) for n in range(4)]
+        assert offsets[0] == 0
+        assert max(offsets) == 10_000  # skew * timeslice
+        assert offsets == sorted(offsets)
+
+    def test_single_node_never_skews(self):
+        machine = make_machine(num_nodes=1, skew_fraction=0.5)
+        assert machine.scheduler.node_offset(0) == 0
+
+
+class TestRotation:
+    def test_single_job_machine_never_ticks(self):
+        machine = make_machine(num_nodes=2, timeslice=10_000)
+        job = machine.add_job(NullApplication())
+        machine.start()
+        machine.run(until=100_000)
+        # One initial install per node, no further gang switches.
+        for node in machine.nodes:
+            assert node.kernel.stats.context_switches == 1
+
+    def test_two_jobs_alternate(self):
+        machine = make_machine(num_nodes=1, timeslice=10_000)
+        job_a = machine.add_job(NullApplication())
+        job_b = machine.add_job(NullApplication())
+        machine.start()
+        machine.run(until=95_000)
+        switches = machine.nodes[0].kernel.stats.context_switches
+        assert switches >= 9  # one per timeslice
+
+    def test_suspended_job_skipped_and_resumed(self):
+        machine = make_machine(num_nodes=1, timeslice=10_000)
+        job_a = machine.add_job(NullApplication())
+        job_b = machine.add_job(NullApplication())
+        machine.start()
+        machine.run(until=5_000)
+        machine.scheduler.suspend_job(job_a, duration=50_000)
+        assert job_a.suspended
+        machine.run(until=30_000)
+        # While A is suspended, B is always the pick.
+        assert machine.nodes[0].kernel.scheduled.job is job_b
+        machine.run(until=120_000)
+        assert not job_a.suspended
+
+    def test_cannot_add_jobs_after_start(self):
+        machine = make_machine(num_nodes=1)
+        machine.add_job(NullApplication())
+        machine.start()
+        with pytest.raises(RuntimeError):
+            machine.add_job(NullApplication())
+
+    def test_scheduler_requires_jobs(self):
+        machine = make_machine(num_nodes=1)
+        with pytest.raises(RuntimeError):
+            machine.start()
+
+
+class TestGangAdvisoryMechanics:
+    def test_advise_gang_sets_resync_window(self):
+        machine = make_machine(num_nodes=2, skew_fraction=0.2,
+                               timeslice=10_000)
+        job_a = machine.add_job(NullApplication())
+        machine.add_job(NullApplication())
+        machine.start()
+        machine.run(until=25_000)
+        machine.scheduler.advise_gang(job_a, slices=4)
+        assert job_a.needs_gang_advice
+        before = machine.scheduler.stats.resynced_ticks
+        machine.run(until=70_000)
+        assert machine.scheduler.stats.resynced_ticks > before
+
+    def test_bad_parameters_rejected(self):
+        machine = make_machine(num_nodes=1)
+        with pytest.raises(ValueError):
+            GangScheduler(machine, timeslice=0)
+        with pytest.raises(ValueError):
+            GangScheduler(machine, timeslice=100, skew_fraction=-1)
