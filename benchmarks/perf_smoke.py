@@ -1,0 +1,165 @@
+"""Perf smoke benchmark: seed and track the repo's perf trajectory.
+
+Times three things and writes ``BENCH_runner.json``:
+
+* **engine microbenchmark** — raw discrete-event throughput
+  (events/second) on a process-churn loop and on a cancellation-heavy
+  loop (the lazy-deletion/compaction path);
+* **runner sweep, serial vs parallel** — a small fixed multiprogrammed
+  sweep through :func:`repro.runner.run_specs` at ``jobs=1`` and
+  ``jobs=N``, verifying the metrics are identical and recording the
+  wall-clock ratio;
+* **cache replay** — the same sweep again from the persistent cache,
+  recording hit counts and replay time.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--jobs N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from dataclasses import asdict
+
+from repro.experiments.multiprog import multiprog_spec
+from repro.runner import ResultCache, default_jobs, run_specs
+from repro.sim.engine import Delay, Engine
+
+#: The fixed smoke sweep: 2 workloads x 2 skews x 2 trials, fast scale.
+SMOKE_SPECS = [
+    multiprog_spec(name, skew, seed=seed, scale="fast",
+                   timeslice=100_000)
+    for name in ("barrier", "enum")
+    for skew in (0.0, 0.1)
+    for seed in (1, 2)
+]
+
+
+def bench_engine_events(n_procs: int = 50, steps: int = 2000) -> dict:
+    """Events/second on a many-process Delay loop."""
+    engine = Engine()
+
+    def proc(i):
+        for _ in range(steps):
+            yield Delay(3 + (i % 7))
+
+    for i in range(n_procs):
+        engine.process(proc(i), name=f"p{i}")
+    start = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - start
+    return {
+        "events": engine.events_executed,
+        "wall_seconds": wall,
+        "events_per_second": engine.events_executed / wall,
+    }
+
+
+def bench_engine_cancellation(total: int = 200_000,
+                              keep_every: int = 10) -> dict:
+    """Wall-clock of a cancellation-dominated schedule."""
+    engine = Engine()
+    start = time.perf_counter()
+    for i in range(total):
+        entry = engine.call_at(i + 1000, lambda: None)
+        if i % keep_every != 0:
+            entry.cancel()
+    engine.run()
+    wall = time.perf_counter() - start
+    return {
+        "scheduled": total,
+        "executed": engine.events_executed,
+        "wall_seconds": wall,
+        "compactions": engine.compactions,
+    }
+
+
+def bench_sweep(jobs: int) -> dict:
+    """Serial vs parallel vs cached execution of the smoke sweep."""
+    start = time.perf_counter()
+    serial = run_specs(SMOKE_SPECS, jobs=1)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_specs(SMOKE_SPECS, jobs=jobs)
+    parallel_wall = time.perf_counter() - start
+
+    identical = all(
+        asdict(a.require()) == asdict(b.require())
+        for a, b in zip(serial, parallel)
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        run_specs(SMOKE_SPECS, jobs=jobs, cache=cache)
+        start = time.perf_counter()
+        replay = run_specs(SMOKE_SPECS, jobs=1, cache=cache)
+        replay_wall = time.perf_counter() - start
+        cache_hits = cache.hits
+        replay_identical = identical and all(
+            asdict(a.require()) == asdict(b.require())
+            for a, b in zip(serial, replay)
+        )
+
+    return {
+        "runs": len(SMOKE_SPECS),
+        "jobs": jobs,
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall else 0.0,
+        "cache_hits": cache_hits,
+        "cache_replay_wall_seconds": replay_wall,
+        "serial_parallel_identical": identical,
+        "cache_replay_identical": replay_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: all CPUs, "
+                             "minimum 4 so the fork path is exercised)")
+    parser.add_argument("--out", default="BENCH_runner.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    # Floor of 4: always measure the real fan-out path, even on small
+    # boxes (the speedup there simply records the fork overhead).
+    jobs = args.jobs or max(4, default_jobs())
+
+    report = {
+        "benchmark": "runner+engine perf smoke",
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "engine_events": bench_engine_events(),
+        "engine_cancellation": bench_engine_cancellation(),
+        "sweep": bench_sweep(jobs),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    events = report["engine_events"]["events_per_second"]
+    sweep = report["sweep"]
+    print(f"engine: {events:,.0f} events/s")
+    print(f"sweep ({sweep['runs']} runs): serial "
+          f"{sweep['serial_wall_seconds']:.2f}s, jobs={sweep['jobs']} "
+          f"{sweep['parallel_wall_seconds']:.2f}s "
+          f"(speedup {sweep['speedup']:.2f}x), cache replay "
+          f"{sweep['cache_replay_wall_seconds']:.3f}s "
+          f"({sweep['cache_hits']} hits)")
+    print(f"identical: serial/parallel="
+          f"{sweep['serial_parallel_identical']} "
+          f"cache={sweep['cache_replay_identical']}")
+    print(f"wrote {args.out}")
+    return 0 if (sweep["serial_parallel_identical"]
+                 and sweep["cache_replay_identical"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

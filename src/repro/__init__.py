@@ -19,6 +19,7 @@ from repro.machine.machine import Machine
 from repro.core.udm import UdmRuntime
 from repro.core.costs import CostModel, AtomicityMode
 from repro.network.message import Message
+from repro.runner import ResultCache, RunSpec, run_specs
 
 __all__ = [
     "SimulationConfig",
@@ -27,6 +28,9 @@ __all__ = [
     "CostModel",
     "AtomicityMode",
     "Message",
+    "ResultCache",
+    "RunSpec",
+    "run_specs",
 ]
 
 __version__ = "1.0.0"

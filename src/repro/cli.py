@@ -17,6 +17,26 @@ from typing import Optional, Sequence
 from repro.analysis.report import render_series, render_table
 
 
+def _runner_kwargs(args) -> dict:
+    """jobs/cache keywords for sweep commands (see ``--jobs``,
+    ``--no-cache``)."""
+    from repro.runner import ResultCache
+
+    cache = None if args.no_cache else ResultCache()
+    return {"jobs": args.jobs, "cache": cache}
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs "
+             "(default: all CPUs; 1 disables parallelism)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and don't write the persistent result cache "
+             "(.repro_cache/)")
+
+
 def _cmd_table4(args) -> None:
     from repro.experiments.micro import table4_results
 
@@ -59,7 +79,7 @@ def _cmd_table5(args) -> None:
 def _cmd_table6(args) -> None:
     from repro.experiments.standalone import table6_rows
 
-    rows = table6_rows(scale=args.scale)
+    rows = table6_rows(scale=args.scale, **_runner_kwargs(args))
     print(render_table(
         "Table 6: standalone application characteristics (8 nodes)",
         ["app", "model", "cycles", "msgs", "T_betw", "T_betw(paper)",
@@ -75,7 +95,7 @@ def _sweep(args):
     from repro.experiments.multiprog import full_sweep
 
     return full_sweep(skews=tuple(args.skews), trials=args.trials,
-                      scale=args.scale)
+                      scale=args.scale, **_runner_kwargs(args))
 
 
 def _cmd_fig7(args) -> None:
@@ -110,7 +130,8 @@ def _cmd_fig9(args) -> None:
     from repro.experiments.synth_sweeps import interval_sweep
 
     result = interval_sweep(trials=args.trials,
-                            messages_per_node=args.messages)
+                            messages_per_node=args.messages,
+                            **_runner_kwargs(args))
     print(render_series(
         "Figure 9: % buffered vs send interval (synth-N, 1% skew)",
         result.x_label, result.xs, result.series_pairs(),
@@ -122,7 +143,8 @@ def _cmd_fig10(args) -> None:
     from repro.experiments.synth_sweeps import buffer_cost_sweep
 
     result = buffer_cost_sweep(trials=args.trials,
-                               messages_per_node=args.messages)
+                               messages_per_node=args.messages,
+                               **_runner_kwargs(args))
     print(render_series(
         "Figure 10: % buffered vs buffered-path cost (T_betw=275)",
         result.x_label, result.xs, result.series_pairs(),
@@ -136,7 +158,8 @@ def _cmd_ablations(args) -> None:
         queue_depth_ablation, timeout_ablation, two_case_ablation,
     )
 
-    points = two_case_ablation()
+    kwargs = _runner_kwargs(args)
+    points = two_case_ablation(**kwargs)
     print(render_table(
         "Two-case vs always-buffered (barrier)",
         ["config", "runtime", "buffered %"],
@@ -144,7 +167,7 @@ def _cmd_ablations(args) -> None:
           f"{p.metrics.buffered_fraction:.0%}"] for p in points],
     ))
     print()
-    points = timeout_ablation()
+    points = timeout_ablation(**kwargs)
     print(render_table(
         "Atomicity-timeout sweep (barnes vs null, 5% skew)",
         ["config", "runtime", "buffered %", "revocations"],
@@ -153,7 +176,7 @@ def _cmd_ablations(args) -> None:
           p.metrics.revocations] for p in points],
     ))
     print()
-    points = queue_depth_ablation()
+    points = queue_depth_ablation(**kwargs)
     print(render_table(
         "NI input-queue depth (synth-100)",
         ["config", "runtime", "max backlog", "sender blocks"],
@@ -162,7 +185,7 @@ def _cmd_ablations(args) -> None:
           int(p.extra["sender_blocks"])] for p in points],
     ))
     print()
-    points = architecture_comparison()
+    points = architecture_comparison(**kwargs)
     print(render_table(
         "Figure 1 architectures (barrier)",
         ["config", "runtime", "resident pages"],
@@ -170,7 +193,7 @@ def _cmd_ablations(args) -> None:
           int(p.extra["resident_buffer_pages"])] for p in points],
     ))
     print()
-    points = bulk_transfer_ablation()
+    points = bulk_transfer_ablation(**kwargs)
     print(render_table(
         "Fragmented vs bulk-DMA CRL transfers",
         ["config", "runtime", "messages"],
@@ -196,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p6 = sub.add_parser("table6", help="application characteristics")
     p6.add_argument("--scale", choices=("fast", "bench"), default="bench")
+    _add_runner_flags(p6)
     p6.set_defaults(fn=_cmd_table6)
 
     for name, fn in (("fig7", _cmd_fig7), ("fig8", _cmd_fig8)):
@@ -205,15 +229,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trials", type=int, default=3)
         p.add_argument("--scale", choices=("fast", "bench"),
                        default="bench")
+        _add_runner_flags(p)
         p.set_defaults(fn=fn)
 
     for name, fn in (("fig9", _cmd_fig9), ("fig10", _cmd_fig10)):
         p = sub.add_parser(name, help="synth-N sweep")
         p.add_argument("--trials", type=int, default=3)
         p.add_argument("--messages", type=int, default=2000)
+        _add_runner_flags(p)
         p.set_defaults(fn=fn)
 
     pa = sub.add_parser("ablations", help="design-choice ablations")
+    _add_runner_flags(pa)
     pa.set_defaults(fn=_cmd_ablations)
 
     return parser

@@ -26,6 +26,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+#: Version stamp of the cycle-cost model. Bump whenever any constant in
+#: this module (or cost-charging behaviour anywhere in the simulator)
+#: changes: the persistent result cache (`repro.runner.cache`) keys
+#: every stored run on this value, so a bump invalidates stale results.
+COST_MODEL_VERSION = 1
+
 
 class AtomicityMode(enum.Enum):
     """Which protection regime the fast path runs under (Table 4)."""

@@ -12,12 +12,20 @@ Three studies, each isolating one element of the paper's argument:
 * **queue_depth_ablation** — vary the NI hardware input queue depth:
   a deeper queue absorbs bursts in hardware, shifting backpressure out
   of the network.
+
+Every ablation point is one independent run, so each study is expressed
+as a batch of :class:`~repro.runner.RunSpec` and executed through
+:func:`repro.runner.run_specs` — the points of a study run in parallel
+and cache like any other experiment. Study-specific side measurements
+(kernel insert cycles, network backlog, resident pages, ...) travel in
+the run's ``extra`` dict so they survive worker-process and cache
+boundaries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import RunMetrics, collect_metrics
 from repro.apps.null_app import NullApplication
@@ -25,6 +33,7 @@ from repro.apps.synth import SynthApplication
 from repro.experiments.config import SimulationConfig
 from repro.experiments.workloads import make_workload
 from repro.machine.machine import Machine
+from repro.runner import ResultCache, RunSpec, run_specs
 
 
 @dataclass
@@ -44,103 +53,147 @@ def _run(config: SimulationConfig, app) -> tuple:
     return machine, job
 
 
+def _points(specs: Sequence[RunSpec], labels: Sequence[str],
+            jobs: Optional[int],
+            cache: Optional[ResultCache]) -> List[AblationPoint]:
+    """Execute a study's specs and fold them into labelled points."""
+    results = run_specs(specs, jobs=jobs, cache=cache)
+    return [
+        AblationPoint(label=label, metrics=result.require(),
+                      extra=result.extra)
+        for label, result in zip(labels, results)
+    ]
+
+
 # ----------------------------------------------------------------------
 # Two-case vs always-buffered
 # ----------------------------------------------------------------------
+def execute_two_case(workload: str = "barrier", num_nodes: int = 8,
+                     scale: str = "fast", forced: bool = False):
+    """Runner executor (kind ``ablate_two_case``)."""
+    config = SimulationConfig(num_nodes=num_nodes,
+                              force_buffered=forced)
+    app = make_workload(workload, seed=1, num_nodes=num_nodes,
+                        scale=scale)
+    machine, job = _run(config, app)
+    metrics = collect_metrics(machine, job)
+    extra = {"kernel_insert_cycles": sum(
+        node.kernel.stats.insert_cycles for node in machine.nodes)}
+    return metrics, extra
+
+
 def two_case_ablation(workload: str = "barrier", num_nodes: int = 8,
-                      scale: str = "fast") -> List[AblationPoint]:
-    points = []
-    for label, forced in (("two-case", False), ("always-buffered", True)):
-        config = SimulationConfig(num_nodes=num_nodes,
-                                  force_buffered=forced)
-        app = make_workload(workload, seed=1, num_nodes=num_nodes,
-                            scale=scale)
-        machine, job = _run(config, app)
-        metrics = collect_metrics(machine, job)
-        points.append(AblationPoint(
-            label=label, metrics=metrics,
-            extra={"kernel_insert_cycles": sum(
-                node.kernel.stats.insert_cycles
-                for node in machine.nodes)},
-        ))
-    return points
+                      scale: str = "fast",
+                      jobs: Optional[int] = None,
+                      cache: Optional[ResultCache] = None,
+                      ) -> List[AblationPoint]:
+    labels = ["two-case", "always-buffered"]
+    specs = [
+        RunSpec.make("ablate_two_case", workload=workload,
+                     num_nodes=num_nodes, scale=scale, forced=forced)
+        for forced in (False, True)
+    ]
+    return _points(specs, labels, jobs, cache)
 
 
 # ----------------------------------------------------------------------
 # Atomicity-timeout sweep
 # ----------------------------------------------------------------------
+def execute_timeout(timeout: int, workload: str = "barnes",
+                    num_nodes: int = 8, skew: float = 0.05,
+                    scale: str = "fast"):
+    """Runner executor (kind ``ablate_timeout``)."""
+    config = SimulationConfig(num_nodes=num_nodes, skew_fraction=skew,
+                              atomicity_timeout=timeout,
+                              timeslice=100_000)
+    machine = Machine(config)
+    app = make_workload(workload, seed=1, num_nodes=num_nodes,
+                        scale=scale)
+    job = machine.add_job(app)
+    machine.add_job(NullApplication())
+    machine.start()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    return collect_metrics(machine, job), {"timeout": timeout}
+
+
 def timeout_ablation(timeouts: Sequence[int] = (1_000, 5_000, 50_000),
                      workload: str = "barnes", num_nodes: int = 8,
                      skew: float = 0.05,
-                     scale: str = "fast") -> List[AblationPoint]:
-    points = []
-    for timeout in timeouts:
-        config = SimulationConfig(num_nodes=num_nodes, skew_fraction=skew,
-                                  atomicity_timeout=timeout,
-                                  timeslice=100_000)
-        machine = Machine(config)
-        app = make_workload(workload, seed=1, num_nodes=num_nodes,
-                            scale=scale)
-        job = machine.add_job(app)
-        machine.add_job(NullApplication())
-        machine.start()
-        machine.run_until_job_done(job, limit=50_000_000_000)
-        metrics = collect_metrics(machine, job)
-        points.append(AblationPoint(
-            label=f"timeout={timeout}", metrics=metrics,
-            extra={"timeout": timeout},
-        ))
-    return points
+                     scale: str = "fast",
+                     jobs: Optional[int] = None,
+                     cache: Optional[ResultCache] = None,
+                     ) -> List[AblationPoint]:
+    labels = [f"timeout={timeout}" for timeout in timeouts]
+    specs = [
+        RunSpec.make("ablate_timeout", timeout=timeout,
+                     workload=workload, num_nodes=num_nodes, skew=skew,
+                     scale=scale)
+        for timeout in timeouts
+    ]
+    return _points(specs, labels, jobs, cache)
 
 
 # ----------------------------------------------------------------------
 # Interface architectures: direct two-case vs memory-based (Figure 1)
 # ----------------------------------------------------------------------
+def execute_architecture(label: str, workload: str = "barrier",
+                         num_nodes: int = 8, scale: str = "fast"):
+    """Runner executor (kind ``ablate_architecture``)."""
+    from repro.core.two_case import DeliveryArchitecture
+
+    if label == "two-case":
+        config = SimulationConfig(num_nodes=num_nodes)
+    elif label == "memory-based":
+        config = SimulationConfig(
+            num_nodes=num_nodes,
+            architecture=DeliveryArchitecture.MEMORY_BASED)
+    elif label == "always-buffered":
+        config = SimulationConfig(num_nodes=num_nodes,
+                                  force_buffered=True)
+    else:
+        raise ValueError(f"unknown architecture label {label!r}")
+    machine = Machine(config)
+    tracer = machine.enable_tracing(limit=500_000)
+    app = make_workload(workload, seed=1, num_nodes=num_nodes,
+                        scale=scale)
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    metrics = collect_metrics(machine, job)
+    pinned = sum(
+        state.buffer.pages_in_use
+        for state in job.node_states.values()
+    )
+    summary = tracer.summary()
+    latency = (summary["mean_latency_fast"]
+               if label == "two-case"
+               else summary["mean_latency_buffered"])
+    extra = {
+        "resident_buffer_pages": pinned,
+        "mean_message_latency": latency,
+    }
+    return metrics, extra
+
+
 def architecture_comparison(workload: str = "barrier",
                             num_nodes: int = 8,
-                            scale: str = "fast") -> List[AblationPoint]:
+                            scale: str = "fast",
+                            jobs: Optional[int] = None,
+                            cache: Optional[ResultCache] = None,
+                            ) -> List[AblationPoint]:
     """Compare the Figure 1 architectures on one workload.
 
     * two-case (the paper's system): direct delivery dominates;
     * memory-based: every message through a pinned memory queue;
     * always-buffered: the software-buffer-only strawman.
     """
-    from repro.core.two_case import DeliveryArchitecture
-
-    configs = [
-        ("two-case", SimulationConfig(num_nodes=num_nodes)),
-        ("memory-based", SimulationConfig(
-            num_nodes=num_nodes,
-            architecture=DeliveryArchitecture.MEMORY_BASED)),
-        ("always-buffered", SimulationConfig(num_nodes=num_nodes,
-                                             force_buffered=True)),
+    labels = ["two-case", "memory-based", "always-buffered"]
+    specs = [
+        RunSpec.make("ablate_architecture", label=label,
+                     workload=workload, num_nodes=num_nodes, scale=scale)
+        for label in labels
     ]
-    points = []
-    for label, config in configs:
-        machine = Machine(config)
-        tracer = machine.enable_tracing(limit=500_000)
-        app = make_workload(workload, seed=1, num_nodes=num_nodes,
-                            scale=scale)
-        job = machine.add_job(app)
-        machine.start()
-        machine.run_until_job_done(job, limit=50_000_000_000)
-        metrics = collect_metrics(machine, job)
-        pinned = sum(
-            state.buffer.pages_in_use
-            for state in job.node_states.values()
-        )
-        summary = tracer.summary()
-        latency = (summary["mean_latency_fast"]
-                   if label == "two-case"
-                   else summary["mean_latency_buffered"])
-        points.append(AblationPoint(
-            label=label, metrics=metrics,
-            extra={
-                "resident_buffer_pages": pinned,
-                "mean_message_latency": latency,
-            },
-        ))
-    return points
+    return _points(specs, labels, jobs, cache)
 
 
 # ----------------------------------------------------------------------
@@ -181,49 +234,69 @@ class _BigRegionReaders:
             yield from self.collectives.barrier(rt)
 
 
+def execute_bulk(threshold: Optional[int], region_words: int = 1500,
+                 rounds: int = 6, num_nodes: int = 8):
+    """Runner executor (kind ``ablate_bulk``)."""
+    config = SimulationConfig(num_nodes=num_nodes)
+    app = _BigRegionReaders(num_nodes, region_words, rounds,
+                            bulk_threshold=threshold)
+    machine, job = _run(config, app)
+    metrics = collect_metrics(machine, job)
+    stats = app.crl.stats
+    extra = {
+        "data_fragments": stats["data_fragments"],
+        "bulk_transfers": stats["bulk_transfers"],
+    }
+    return metrics, extra
+
+
 def bulk_transfer_ablation(region_words: int = 1500, rounds: int = 6,
-                           num_nodes: int = 8) -> List[AblationPoint]:
+                           num_nodes: int = 8,
+                           jobs: Optional[int] = None,
+                           cache: Optional[ResultCache] = None,
+                           ) -> List[AblationPoint]:
     """Fragmented 16-word messages vs one DMA transfer per grant."""
-    points = []
-    for label, threshold in (("fragments", None), ("bulk-dma", 256)):
-        config = SimulationConfig(num_nodes=num_nodes)
-        app = _BigRegionReaders(num_nodes, region_words, rounds,
-                                bulk_threshold=threshold)
-        machine, job = _run(config, app)
-        metrics = collect_metrics(machine, job)
-        stats = app.crl.stats
-        points.append(AblationPoint(
-            label=label, metrics=metrics,
-            extra={
-                "data_fragments": stats["data_fragments"],
-                "bulk_transfers": stats["bulk_transfers"],
-            },
-        ))
-    return points
+    labels = ["fragments", "bulk-dma"]
+    specs = [
+        RunSpec.make("ablate_bulk", threshold=threshold,
+                     region_words=region_words, rounds=rounds,
+                     num_nodes=num_nodes)
+        for threshold in (None, 256)
+    ]
+    return _points(specs, labels, jobs, cache)
 
 
 # ----------------------------------------------------------------------
 # NI input-queue depth
 # ----------------------------------------------------------------------
+def execute_queue_depth(depth: int, num_nodes: int = 4):
+    """Runner executor (kind ``ablate_queue_depth``)."""
+    config = SimulationConfig(num_nodes=num_nodes,
+                              ni_input_queue=depth)
+    app = SynthApplication(group_size=100, t_betw=50,
+                           total_messages_per_node=800,
+                           num_nodes=num_nodes, seed=1)
+    machine, job = _run(config, app)
+    metrics = collect_metrics(machine, job)
+    max_backlog = max(
+        machine.fabric.stats.max_backlog.values(), default=0
+    )
+    extra = {
+        "max_network_backlog": max_backlog,
+        "sender_blocks": machine.fabric.stats.sender_blocks,
+    }
+    return metrics, extra
+
+
 def queue_depth_ablation(depths: Sequence[int] = (1, 2, 8),
-                         num_nodes: int = 4) -> List[AblationPoint]:
-    points = []
-    for depth in depths:
-        config = SimulationConfig(num_nodes=num_nodes,
-                                  ni_input_queue=depth)
-        app = SynthApplication(group_size=100, t_betw=50,
-                               total_messages_per_node=800,
-                               num_nodes=num_nodes, seed=1)
-        machine, job = _run(config, app)
-        metrics = collect_metrics(machine, job)
-        max_backlog = max(
-            machine.fabric.stats.max_backlog.values(), default=0
-        )
-        points.append(AblationPoint(
-            label=f"queue={depth}", metrics=metrics,
-            extra={
-                "max_network_backlog": max_backlog,
-                "sender_blocks": machine.fabric.stats.sender_blocks,
-            },
-        ))
-    return points
+                         num_nodes: int = 4,
+                         jobs: Optional[int] = None,
+                         cache: Optional[ResultCache] = None,
+                         ) -> List[AblationPoint]:
+    labels = [f"queue={depth}" for depth in depths]
+    specs = [
+        RunSpec.make("ablate_queue_depth", depth=depth,
+                     num_nodes=num_nodes)
+        for depth in depths
+    ]
+    return _points(specs, labels, jobs, cache)

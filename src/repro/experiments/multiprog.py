@@ -9,22 +9,49 @@ relative to the zero-skew multiprogrammed run (Figure 8), and the
 maximum physical buffer pages on any node (the "less than seven
 pages/node" result). Numbers average over ``trials`` seeds, as the
 paper averages three trials.
+
+All sweeps route through :mod:`repro.runner`: each (workload, skew,
+seed) run is an independent :class:`~repro.runner.RunSpec`, so a full
+sweep fans out over worker processes and memoizes per-run results in
+the persistent cache. ``jobs=1`` reproduces the historical serial
+behaviour exactly (determinism is per-run, not per-schedule).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, mean
 from repro.apps.null_app import NullApplication
 from repro.experiments.config import SimulationConfig
 from repro.experiments.workloads import WORKLOAD_NAMES, make_workload
 from repro.machine.machine import Machine
+from repro.runner import ResultCache, RunSpec, run_specs
 
 #: The skew sweep: worst pairwise clock offset as a fraction of the
 #: timeslice ("decreasing schedule quality" along the x axis).
 DEFAULT_SKEWS = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def execute_multiprog(name: str, skew: float, seed: int = 1,
+                      num_nodes: int = 8, scale: str = "bench",
+                      timeslice: int = 500_000):
+    """Runner executor for one multiprogrammed run (kind ``multiprog``)."""
+    metrics = run_multiprogrammed(name, skew, seed=seed,
+                                  num_nodes=num_nodes, scale=scale,
+                                  timeslice=timeslice)
+    return metrics, {}
+
+
+def multiprog_spec(name: str, skew: float, seed: int = 1,
+                   num_nodes: int = 8, scale: str = "bench",
+                   timeslice: int = 500_000) -> RunSpec:
+    """The :class:`RunSpec` describing one multiprogrammed run."""
+    return RunSpec.make(
+        "multiprog", name=name, skew=skew, seed=seed,
+        num_nodes=num_nodes, scale=scale, timeslice=timeslice,
+    )
 
 
 def run_multiprogrammed(name: str, skew: float, seed: int = 1,
@@ -44,7 +71,13 @@ def run_multiprogrammed(name: str, skew: float, seed: int = 1,
 
 @dataclass
 class SkewSweepResult:
-    """One workload across the skew sweep (averaged over trials)."""
+    """One workload across the skew sweep (averaged over trials).
+
+    Precondition for :attr:`relative_runtime`: runtimes are normalized
+    to the zero-skew run, so ``skews`` should include ``0.0`` (the
+    paper's Figure 8 baseline). If no zero-skew point exists the first
+    point is used as the baseline and the ratios are relative to it.
+    """
 
     name: str
     skews: List[float]
@@ -56,7 +89,13 @@ class SkewSweepResult:
 
     @property
     def relative_runtime(self) -> List[float]:
-        base = self.metrics[0].elapsed_cycles
+        if not self.metrics:
+            return []
+        try:
+            baseline_index = self.skews.index(0.0)
+        except ValueError:
+            baseline_index = 0  # no zero-skew run; normalize to first
+        base = self.metrics[baseline_index].elapsed_cycles
         if base == 0:
             return [1.0 for _ in self.metrics]
         return [m.elapsed_cycles / base for m in self.metrics]
@@ -66,31 +105,72 @@ class SkewSweepResult:
         return [m.max_buffer_pages for m in self.metrics]
 
 
+def _sweep_specs(name: str, skews: Sequence[float], trials: int,
+                 num_nodes: int, scale: str,
+                 timeslice: int) -> List[RunSpec]:
+    """Specs for one workload's sweep, trial-major within each skew."""
+    return [
+        multiprog_spec(name, skew, seed=seed + 1, num_nodes=num_nodes,
+                       scale=scale, timeslice=timeslice)
+        for skew in skews
+        for seed in range(trials)
+    ]
+
+
+def _collect_sweep(name: str, skews: Sequence[float], trials: int,
+                   results) -> SkewSweepResult:
+    """Regroup a flat result list (as built by ``_sweep_specs``).
+
+    A failed trial is dropped from its point's average (the executor
+    captured its traceback); only a point with *no* surviving trial
+    aborts the sweep, by re-raising the first failure.
+    """
+    per_skew: List[RunMetrics] = []
+    for skew_index in range(len(skews)):
+        chunk = results[skew_index * trials:(skew_index + 1) * trials]
+        good = [r.metrics for r in chunk if r.ok]
+        if not good:
+            chunk[0].require()  # raises RunnerError with the traceback
+        per_skew.append(mean(good))
+    return SkewSweepResult(name=name, skews=list(skews),
+                           metrics=per_skew)
+
+
 def skew_sweep(name: str, skews: Sequence[float] = DEFAULT_SKEWS,
                trials: int = 3, num_nodes: int = 8,
                scale: str = "bench",
-               timeslice: int = 500_000) -> SkewSweepResult:
+               timeslice: int = 500_000,
+               jobs: Optional[int] = None,
+               cache: Optional[ResultCache] = None) -> SkewSweepResult:
     """Sweep schedule quality for one workload."""
-    per_skew: List[RunMetrics] = []
-    for skew in skews:
-        runs = [
-            run_multiprogrammed(name, skew, seed=seed + 1,
-                                num_nodes=num_nodes, scale=scale,
-                                timeslice=timeslice)
-            for seed in range(trials)
-        ]
-        per_skew.append(mean(runs))
-    return SkewSweepResult(name=name, skews=list(skews), metrics=per_skew)
+    specs = _sweep_specs(name, skews, trials, num_nodes, scale,
+                         timeslice)
+    results = run_specs(specs, jobs=jobs, cache=cache)
+    return _collect_sweep(name, skews, trials, results)
 
 
 def full_sweep(skews: Sequence[float] = DEFAULT_SKEWS, trials: int = 3,
                num_nodes: int = 8, scale: str = "bench",
                names: Sequence[str] = tuple(WORKLOAD_NAMES),
-               timeslice: int = 500_000) -> Dict[str, SkewSweepResult]:
-    """The Figures 7/8 data set: every workload across the sweep."""
+               timeslice: int = 500_000,
+               jobs: Optional[int] = None,
+               cache: Optional[ResultCache] = None,
+               ) -> Dict[str, SkewSweepResult]:
+    """The Figures 7/8 data set: every workload across the sweep.
+
+    All ``len(names) * len(skews) * trials`` runs are fanned out in one
+    batch so worker processes stay saturated across workloads.
+    """
+    specs: List[RunSpec] = []
+    for name in names:
+        specs.extend(_sweep_specs(name, skews, trials, num_nodes, scale,
+                                  timeslice))
+    results = run_specs(specs, jobs=jobs, cache=cache)
+    per_workload = len(skews) * trials
     return {
-        name: skew_sweep(name, skews=skews, trials=trials,
-                         num_nodes=num_nodes, scale=scale,
-                         timeslice=timeslice)
-        for name in names
+        name: _collect_sweep(
+            name, skews, trials,
+            results[i * per_workload:(i + 1) * per_workload],
+        )
+        for i, name in enumerate(names)
     }

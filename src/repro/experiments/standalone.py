@@ -15,6 +15,7 @@ from repro.analysis.metrics import RunMetrics, collect_metrics
 from repro.experiments.config import SimulationConfig
 from repro.experiments.workloads import MODELS, WORKLOAD_NAMES, make_workload
 from repro.machine.machine import Machine
+from repro.runner import ResultCache, RunSpec, run_specs
 
 
 #: The paper's Table 6 reference values (8 nodes, full data sets).
@@ -40,6 +41,21 @@ class Table6Row:
     paper: Dict[str, float]
 
 
+def execute_standalone(name: str, num_nodes: int = 8, seed: int = 1,
+                       scale: str = "bench"):
+    """Runner executor for one standalone run (kind ``standalone``)."""
+    metrics = run_standalone(name, num_nodes=num_nodes, seed=seed,
+                             scale=scale)
+    return metrics, {}
+
+
+def standalone_spec(name: str, num_nodes: int = 8, seed: int = 1,
+                    scale: str = "bench") -> RunSpec:
+    """The :class:`RunSpec` describing one standalone run."""
+    return RunSpec.make("standalone", name=name, num_nodes=num_nodes,
+                        seed=seed, scale=scale)
+
+
 def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
                    scale: str = "bench",
                    config: Optional[SimulationConfig] = None) -> RunMetrics:
@@ -55,13 +71,20 @@ def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
 
 
 def table6_rows(num_nodes: int = 8, seed: int = 1,
-                scale: str = "bench") -> List[Table6Row]:
-    rows = []
-    for name in WORKLOAD_NAMES:
-        metrics = run_standalone(name, num_nodes=num_nodes, seed=seed,
-                                 scale=scale)
-        rows.append(Table6Row(
-            name=name, model=MODELS[name], metrics=metrics,
+                scale: str = "bench",
+                jobs: Optional[int] = None,
+                cache: Optional[ResultCache] = None) -> List[Table6Row]:
+    """Table 6, one parallel batch: every workload standalone."""
+    specs = [
+        standalone_spec(name, num_nodes=num_nodes, seed=seed,
+                        scale=scale)
+        for name in WORKLOAD_NAMES
+    ]
+    results = run_specs(specs, jobs=jobs, cache=cache)
+    return [
+        Table6Row(
+            name=name, model=MODELS[name], metrics=result.require(),
             paper=PAPER_TABLE6[name],
-        ))
-    return rows
+        )
+        for name, result in zip(WORKLOAD_NAMES, results)
+    ]

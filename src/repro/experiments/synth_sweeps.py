@@ -8,18 +8,23 @@ buffered mode periodically".
 Figure 10: percentage buffered versus the *cost of the buffered path*,
 with T_betw held at 275 cycles — demonstrating that buffering feeds
 back on itself once the buffered path is slower than the send rate.
+
+Both sweeps route through :mod:`repro.runner` (one
+:class:`~repro.runner.RunSpec` per (group size, x value, trial) run),
+so they parallelize and memoize like the Figure 7/8 sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, mean
 from repro.apps.null_app import NullApplication
 from repro.apps.synth import SynthApplication
 from repro.experiments.config import SimulationConfig
 from repro.machine.machine import Machine
+from repro.runner import ResultCache, RunSpec, run_specs
 
 #: Group sizes from the paper.
 GROUP_SIZES = (10, 100, 1000)
@@ -33,6 +38,30 @@ T_HAND = 290
 FIG10_T_BETW = 275
 SYNTH_NODES = 4
 SYNTH_SKEW = 0.01
+
+
+def execute_synth(group_size: int, t_betw: int, seed: int = 1,
+                  buffer_cost_extra: int = 0,
+                  messages_per_node: int = 2000,
+                  timeslice: int = 500_000):
+    """Runner executor for one synth-N run (kind ``synth``)."""
+    metrics = run_synth(group_size, t_betw, seed=seed,
+                        buffer_cost_extra=buffer_cost_extra,
+                        messages_per_node=messages_per_node,
+                        timeslice=timeslice)
+    return metrics, {}
+
+
+def synth_spec(group_size: int, t_betw: int, seed: int = 1,
+               buffer_cost_extra: int = 0,
+               messages_per_node: int = 2000,
+               timeslice: int = 500_000) -> RunSpec:
+    """The :class:`RunSpec` describing one synth-N run."""
+    return RunSpec.make(
+        "synth", group_size=group_size, t_betw=t_betw, seed=seed,
+        buffer_cost_extra=buffer_cost_extra,
+        messages_per_node=messages_per_node, timeslice=timeslice,
+    )
 
 
 def run_synth(group_size: int, t_betw: int, seed: int = 1,
@@ -71,44 +100,63 @@ class SynthSweepResult:
         ]
 
 
+def _run_synth_grid(x_label: str, xs: Sequence[int],
+                    group_sizes: Sequence[int], trials: int,
+                    spec_for, jobs: Optional[int],
+                    cache: Optional[ResultCache]) -> SynthSweepResult:
+    """Fan out a (group, x, trial) grid and fold to buffered %."""
+    specs: List[RunSpec] = [
+        spec_for(group, x, seed + 1)
+        for group in group_sizes
+        for x in xs
+        for seed in range(trials)
+    ]
+    results = run_specs(specs, jobs=jobs, cache=cache)
+    series: Dict[int, List[float]] = {}
+    cursor = 0
+    for group in group_sizes:
+        values = []
+        for _x in xs:
+            chunk = results[cursor:cursor + trials]
+            cursor += trials
+            good = [r.metrics for r in chunk if r.ok]
+            if not good:
+                chunk[0].require()
+            values.append(mean(good).buffered_fraction * 100)
+        series[group] = values
+    return SynthSweepResult(x_label=x_label, xs=list(xs), series=series)
+
+
 def interval_sweep(intervals: Sequence[int] = DEFAULT_INTERVALS,
                    group_sizes: Sequence[int] = GROUP_SIZES,
                    trials: int = 3,
-                   messages_per_node: int = 2000) -> SynthSweepResult:
+                   messages_per_node: int = 2000,
+                   jobs: Optional[int] = None,
+                   cache: Optional[ResultCache] = None,
+                   ) -> SynthSweepResult:
     """Figure 9: buffered % versus send interval."""
-    series: Dict[int, List[float]] = {}
-    for group in group_sizes:
-        values = []
-        for t_betw in intervals:
-            runs = [
-                run_synth(group, t_betw, seed=seed + 1,
+    def spec_for(group: int, t_betw: int, seed: int) -> RunSpec:
+        return synth_spec(group, t_betw, seed=seed,
                           messages_per_node=messages_per_node)
-                for seed in range(trials)
-            ]
-            values.append(mean(runs).buffered_fraction * 100)
-        series[group] = values
-    return SynthSweepResult(x_label="T_betw", xs=list(intervals),
-                            series=series)
+
+    return _run_synth_grid("T_betw", intervals, group_sizes, trials,
+                           spec_for, jobs, cache)
 
 
 def buffer_cost_sweep(costs: Sequence[int] = DEFAULT_BUFFER_COSTS,
                       group_sizes: Sequence[int] = GROUP_SIZES,
                       trials: int = 3,
-                      messages_per_node: int = 2000) -> SynthSweepResult:
+                      messages_per_node: int = 2000,
+                      jobs: Optional[int] = None,
+                      cache: Optional[ResultCache] = None,
+                      ) -> SynthSweepResult:
     """Figure 10: buffered % versus buffered-path cost at T_betw=275."""
     baseline = DEFAULT_BUFFER_COSTS[0]
-    series: Dict[int, List[float]] = {}
-    for group in group_sizes:
-        values = []
-        for cost in costs:
-            extra = max(0, cost - baseline)
-            runs = [
-                run_synth(group, FIG10_T_BETW, seed=seed + 1,
-                          buffer_cost_extra=extra,
+
+    def spec_for(group: int, cost: int, seed: int) -> RunSpec:
+        return synth_spec(group, FIG10_T_BETW, seed=seed,
+                          buffer_cost_extra=max(0, cost - baseline),
                           messages_per_node=messages_per_node)
-                for seed in range(trials)
-            ]
-            values.append(mean(runs).buffered_fraction * 100)
-        series[group] = values
-    return SynthSweepResult(x_label="buffered-path cost", xs=list(costs),
-                            series=series)
+
+    return _run_synth_grid("buffered-path cost", costs, group_sizes,
+                           trials, spec_for, jobs, cache)

@@ -1,0 +1,23 @@
+"""Parallel experiment runner with a persistent result cache.
+
+Every evaluation artifact is built from independent simulation runs, so
+this package turns "run the paper's sweeps" into a data-parallel
+problem: describe each run as a picklable :class:`RunSpec`, fan specs
+out over worker processes with :func:`run_specs`, memoize results on
+disk with :class:`ResultCache`. See ``docs/SIMULATION.md`` ("Parallel
+execution & caching") for the determinism contract and cache layout.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.executor import (
+    RunnerError, RunResult, default_jobs, require_all, run_spec,
+    run_specs,
+)
+from repro.runner.registry import EXECUTORS, UnknownRunKind, execute_spec
+from repro.runner.spec import RunSpec, spec_key
+
+__all__ = [
+    "DEFAULT_CACHE_DIR", "EXECUTORS", "ResultCache", "RunResult",
+    "RunSpec", "RunnerError", "UnknownRunKind", "default_jobs",
+    "execute_spec", "require_all", "run_spec", "run_specs", "spec_key",
+]

@@ -1,0 +1,161 @@
+"""The parallel run executor.
+
+:func:`run_specs` is the single entry point every sweep and benchmark
+routes through: it takes a list of :class:`~repro.runner.spec.RunSpec`,
+satisfies what it can from the persistent cache, fans the misses out
+over a ``ProcessPoolExecutor`` and returns :class:`RunResult` objects
+*in spec order*.
+
+Guarantees:
+
+* **Determinism** — a run's metrics depend only on its spec, so the
+  executor is free to run specs in any order, in any process; results
+  are re-sorted to submission order before returning.
+* **Fault isolation** — an exception inside one run is captured (with
+  traceback) on its ``RunResult`` instead of killing the sweep.
+* **Graceful degradation** — ``jobs=1``, a single outstanding run, or a
+  platform without ``fork`` all take a plain serial path with identical
+  semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import RunMetrics
+from repro.runner.cache import ResultCache
+from repro.runner.registry import execute_spec
+from repro.runner.spec import RunSpec
+
+
+class RunnerError(RuntimeError):
+    """A run failed and the caller required its result."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one spec: metrics + extras, or a captured error."""
+
+    spec: RunSpec
+    metrics: Optional[RunMetrics] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def require(self) -> RunMetrics:
+        """Metrics, or raise :class:`RunnerError` with the run's error."""
+        if self.error is not None:
+            raise RunnerError(
+                f"run {self.spec.describe()} failed:\n{self.error}"
+            )
+        assert self.metrics is not None
+        return self.metrics
+
+
+def _execute_payload(spec: RunSpec) -> Dict[str, Any]:
+    """Worker body: run one spec, return a picklable payload."""
+    try:
+        metrics, extra = execute_spec(spec)
+    except Exception:
+        return {"error": traceback.format_exc()}
+    return {"metrics": metrics, "extra": extra}
+
+
+def _payload_to_result(spec: RunSpec, payload: Dict[str, Any]) -> RunResult:
+    if "error" in payload:
+        return RunResult(spec=spec, error=payload["error"])
+    return RunResult(spec=spec, metrics=payload["metrics"],
+                     extra=payload["extra"])
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is unspecified: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_specs(specs: Sequence[RunSpec],
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[RunResult], None]] = None,
+              ) -> List[RunResult]:
+    """Execute ``specs`` and return results in the same order.
+
+    ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` (or a platform
+    without ``fork``) runs serially in-process. When a ``cache`` is
+    given, hits skip execution entirely and fresh results are stored
+    back. ``progress`` is invoked once per completed result, in
+    completion order.
+    """
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    todo: List[int] = []
+
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            metrics, extra = hit
+            result = RunResult(spec=spec, metrics=metrics, extra=extra,
+                               cached=True)
+            results[index] = result
+            if progress is not None:
+                progress(result)
+        else:
+            todo.append(index)
+
+    if jobs is None:
+        jobs = default_jobs()
+    parallel = jobs > 1 and len(todo) > 1 and _fork_available()
+
+    def finish(index: int, payload: Dict[str, Any]) -> None:
+        result = _payload_to_result(specs[index], payload)
+        if cache is not None and result.ok:
+            cache.put(result.spec, result.metrics, result.extra)
+        results[index] = result
+        if progress is not None:
+            progress(result)
+
+    if parallel:
+        workers = min(jobs, len(todo))
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = {
+                pool.submit(_execute_payload, specs[index]): index
+                for index in todo
+            }
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+    else:
+        for index in todo:
+            finish(index, _execute_payload(specs[index]))
+
+    return results  # type: ignore[return-value]
+
+
+def run_spec(spec: RunSpec,
+             cache: Optional[ResultCache] = None) -> RunResult:
+    """Convenience single-spec execution (always serial)."""
+    return run_specs([spec], jobs=1, cache=cache)[0]
+
+
+def require_all(results: Sequence[RunResult]) -> List[RunMetrics]:
+    """Metrics of every result, raising on the first failure."""
+    return [result.require() for result in results]
+
+
+__all__ = [
+    "RunResult", "RunnerError", "run_specs", "run_spec", "require_all",
+    "default_jobs",
+]

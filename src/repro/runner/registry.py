@@ -1,0 +1,68 @@
+"""The executor registry: spec kinds → runnable entry points.
+
+Executors are referenced by dotted path (``"module:function"``) rather
+than by object so that a :class:`~repro.runner.spec.RunSpec` stays pure
+data: a worker process resolves the kind locally with a lazy import,
+which sidesteps both pickling of callables and import cycles (the
+experiment modules import the runner, not vice versa).
+
+An executor is a callable ``fn(**params) -> (RunMetrics, extra)`` where
+``extra`` is a JSON-serializable dict of kind-specific scalars (e.g.
+the ablations' auxiliary counters). It must be deterministic in its
+parameters.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Tuple
+
+from repro.analysis.metrics import RunMetrics
+from repro.runner.spec import RunSpec
+
+Executor = Callable[..., Tuple[RunMetrics, Dict[str, Any]]]
+
+#: kind -> "module:function". Extend here when adding a new run kind.
+EXECUTORS: Dict[str, str] = {
+    "multiprog": "repro.experiments.multiprog:execute_multiprog",
+    "synth": "repro.experiments.synth_sweeps:execute_synth",
+    "standalone": "repro.experiments.standalone:execute_standalone",
+    "ablate_two_case": "repro.experiments.ablations:execute_two_case",
+    "ablate_timeout": "repro.experiments.ablations:execute_timeout",
+    "ablate_queue_depth":
+        "repro.experiments.ablations:execute_queue_depth",
+    "ablate_architecture":
+        "repro.experiments.ablations:execute_architecture",
+    "ablate_bulk": "repro.experiments.ablations:execute_bulk",
+}
+
+_resolved: Dict[str, Executor] = {}
+
+
+class UnknownRunKind(ValueError):
+    """A spec named a kind with no registered executor."""
+
+
+def resolve(kind: str) -> Executor:
+    """Import and memoize the executor for ``kind``."""
+    fn = _resolved.get(kind)
+    if fn is None:
+        try:
+            target = EXECUTORS[kind]
+        except KeyError:
+            raise UnknownRunKind(
+                f"no executor registered for run kind {kind!r}; "
+                f"known kinds: {sorted(EXECUTORS)}"
+            ) from None
+        module_name, _, attr = target.partition(":")
+        fn = getattr(importlib.import_module(module_name), attr)
+        _resolved[kind] = fn
+    return fn
+
+
+def execute_spec(spec: RunSpec) -> Tuple[RunMetrics, Dict[str, Any]]:
+    """Run one spec in-process and return ``(metrics, extra)``."""
+    return resolve(spec.kind)(**spec.as_dict())
+
+
+__all__ = ["EXECUTORS", "execute_spec", "resolve", "UnknownRunKind"]

@@ -19,6 +19,17 @@ def engine() -> Engine:
     return Engine()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the persistent runner cache out of the repo during tests.
+
+    CLI commands default to a ``.repro_cache/`` in the working
+    directory; tests must neither read a developer's stale cache nor
+    litter the tree, so every test gets a throwaway cache dir.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 def make_machine(num_nodes: int = 2, **overrides) -> Machine:
     """A small machine with test-friendly defaults."""
     config = SimulationConfig(num_nodes=num_nodes, **overrides)

@@ -168,3 +168,83 @@ class TestEvents:
         event.subscribe(lambda v: seen.append(("b", v)))
         event.trigger(9)
         assert seen == [("a", 9), ("b", 9)]
+
+
+class TestHeapCompaction:
+    """Lazy-deleted entries are compacted away when they dominate."""
+
+    def test_heavy_cancellation_triggers_compaction(self, engine):
+        # Schedule far-future callbacks and cancel almost all of them:
+        # without compaction the heap would hold every dead entry until
+        # its timestamp is reached.
+        live = []
+        for i in range(5000):
+            entry = engine.call_at(1_000_000 + i, lambda i=i: live.append(i))
+            if i % 50 != 0:
+                entry.cancel()
+        assert engine.compactions > 0
+        # The heap sheds the cancelled majority long before they expire.
+        assert len(engine._heap) < 2500
+        engine.run()
+        assert live == [i for i in range(5000) if i % 50 == 0]
+
+    def test_compaction_preserves_order_and_results(self, engine):
+        order = []
+        entries = []
+        for i in range(4000):
+            entries.append(engine.call_at(10 + i, lambda i=i: order.append(i)))
+        # Cancel every odd entry to cross the compaction threshold.
+        for i, entry in enumerate(entries):
+            if i % 2:
+                entry.cancel()
+        # Push more work afterwards so compaction interleaves with
+        # scheduling; then everything still fires in time order.
+        for i in range(4000, 4100):
+            engine.call_at(10 + i, lambda i=i: order.append(i))
+        engine.run()
+        expected = [i for i in range(4000) if i % 2 == 0]
+        expected += list(range(4000, 4100))
+        assert order == expected
+
+    def test_pending_counts_only_live_entries(self, engine):
+        keep = engine.call_after(5, lambda: None)
+        dead = engine.call_after(6, lambda: None)
+        dead.cancel()
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+        assert keep.cancelled is False
+
+    def test_double_cancel_counts_once(self, engine):
+        entry = engine.call_after(5, lambda: None)
+        entry.cancel()
+        entry.cancel()
+        assert engine._cancelled_pending == 1
+        engine.run()
+        assert engine._cancelled_pending == 0
+
+
+class TestEntryReuse:
+    """_ScheduledCall recycling must never alias a held entry."""
+
+    def test_recycled_entries_produce_correct_schedule(self, engine):
+        order = []
+        def chain(i):
+            if i < 500:
+                engine.call_after(1, lambda: chain(i + 1))
+                order.append(i)
+        engine.call_after(1, lambda: chain(0))
+        engine.run()
+        assert order == list(range(500))
+        assert len(engine._free) > 0  # reuse actually happened
+
+    def test_held_entry_is_not_recycled(self, engine):
+        fired = []
+        held = engine.call_after(1, lambda: fired.append("held"))
+        # Drive many further events; `held` fires but stays referenced,
+        # so the freelist must not hand it out again.
+        for i in range(2, 50):
+            engine.call_after(i, lambda i=i: fired.append(i))
+        engine.run()
+        assert held not in engine._free
+        assert fired[0] == "held"

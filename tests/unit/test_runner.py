@@ -1,0 +1,134 @@
+"""Unit tests for the parallel runner: specs, hashing, cache."""
+
+import pytest
+
+from repro.analysis.metrics import RunMetrics
+from repro.runner import (
+    ResultCache, RunnerError, RunSpec, UnknownRunKind, execute_spec,
+    run_specs, spec_key,
+)
+
+
+class TestRunSpec:
+    def test_param_order_does_not_matter(self):
+        a = RunSpec.make("multiprog", name="barrier", skew=0.1, seed=2)
+        b = RunSpec.make("multiprog", seed=2, skew=0.1, name="barrier")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert spec_key(a) == spec_key(b)
+
+    def test_different_params_different_key(self):
+        a = RunSpec.make("multiprog", name="barrier", seed=1)
+        b = RunSpec.make("multiprog", name="barrier", seed=2)
+        assert spec_key(a) != spec_key(b)
+
+    def test_different_kind_different_key(self):
+        a = RunSpec.make("multiprog", seed=1)
+        b = RunSpec.make("synth", seed=1)
+        assert spec_key(a) != spec_key(b)
+
+    def test_key_is_stable_across_calls(self):
+        spec = RunSpec.make("standalone", name="lu", scale="fast")
+        assert spec_key(spec) == spec_key(spec)
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(TypeError):
+            RunSpec.make("multiprog", skews=[0.0, 0.1])
+
+    def test_getitem_and_describe(self):
+        spec = RunSpec.make("synth", group_size=10, t_betw=275)
+        assert spec["group_size"] == 10
+        with pytest.raises(KeyError):
+            spec["missing"]
+        assert "synth" in spec.describe()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(UnknownRunKind):
+            execute_spec(RunSpec.make("definitely_not_registered"))
+
+
+def _metrics(**overrides) -> RunMetrics:
+    base = RunMetrics(name="x", elapsed_cycles=123, messages_sent=7,
+                      buffered_fraction=0.25, t_betw=3.5)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec.make("multiprog", name="barrier", seed=1)
+        assert cache.get(spec) is None
+        metrics = _metrics()
+        cache.put(spec, metrics, {"aux": 4.0})
+        loaded, extra = cache.get(spec)
+        assert loaded == metrics
+        assert extra == {"aux": 4.0}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_floats_roundtrip_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("synth", seed=3)
+        metrics = _metrics(buffered_fraction=1 / 3, t_betw=0.1 + 0.2)
+        cache.put(spec, metrics)
+        loaded, _ = cache.get(spec)
+        assert loaded.buffered_fraction == metrics.buffered_fraction
+        assert loaded.t_betw == metrics.t_betw
+
+    def test_cost_model_version_bump_busts_cache(self, tmp_path,
+                                                 monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("multiprog", name="enum", seed=1)
+        cache.put(spec, _metrics())
+        assert cache.get(spec) is not None
+
+        from repro.core import costs
+        monkeypatch.setattr(costs, "COST_MODEL_VERSION",
+                            costs.COST_MODEL_VERSION + 1)
+        assert cache.get(spec) is None  # the old entry is orphaned
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("multiprog", name="lu", seed=1)
+        cache.put(spec, _metrics())
+        path = cache._path(spec)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        for seed in range(3):
+            cache.put(RunSpec.make("multiprog", seed=seed), _metrics())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestErrorCapture:
+    def test_failed_run_captured_not_raised(self):
+        bad = RunSpec.make("standalone", name="no_such_workload",
+                           scale="fast")
+        [result] = run_specs([bad], jobs=1)
+        assert not result.ok
+        assert "no_such_workload" in result.error
+        with pytest.raises(RunnerError):
+            result.require()
+
+    def test_failure_does_not_kill_the_batch(self):
+        bad = RunSpec.make("standalone", name="no_such_workload",
+                           scale="fast")
+        good = RunSpec.make("standalone", name="barrier", scale="fast",
+                            num_nodes=2, seed=1)
+        results = run_specs([bad, good], jobs=1)
+        assert not results[0].ok
+        assert results[1].ok
+        assert results[1].metrics.messages_sent > 0
+
+    def test_failed_runs_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = RunSpec.make("standalone", name="no_such_workload",
+                           scale="fast")
+        run_specs([bad], jobs=1, cache=cache)
+        assert len(cache) == 0
