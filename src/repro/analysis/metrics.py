@@ -36,6 +36,12 @@ class RunMetrics:
     revocations: int = 0
     page_outs: int = 0
     overflow_suspensions: int = 0
+    # Fault-injection outcomes (all zero on a reliable fabric); the
+    # defaults keep cached results from fault-free runs loadable.
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    retries: int = 0
+    invariant_violations: int = 0
 
 
 def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
@@ -71,6 +77,8 @@ def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
             node.kernel.stats.page_outs for node in machine.nodes
         ),
         overflow_suspensions=machine.overflow.stats.suspensions,
+        messages_dropped=machine.fabric.stats.messages_dropped,
+        messages_duplicated=machine.fabric.stats.messages_duplicated,
     )
 
 

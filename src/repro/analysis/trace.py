@@ -27,6 +27,8 @@ class TraceEvent(enum.Enum):
     DELIVER = "deliver"                # entered the NI input queue
     BUFFER_INSERT = "buffer-insert"    # diverted into the software buffer
     HANDLED = "handled"                # freed by the application
+    DROP = "drop"                      # lost in the (faulty) fabric
+    DUPLICATE = "duplicate"            # a fabric-made copy was created
 
 
 @dataclass
@@ -36,6 +38,29 @@ class TraceRecord:
     msg_id: int
     node: int
     detail: str = ""
+    #: Global arrival order across all messages (ties in ``time`` are
+    #: resolved by recording order, which follows simulation order).
+    seq: int = 0
+
+
+@dataclass
+class MessageMeta:
+    """Routing metadata for one traced message (stamped at launch)."""
+
+    src: int
+    dst: int
+    gid: int
+
+
+@dataclass
+class ModeRecord:
+    """One two-case mode transition on one (node, job)."""
+
+    time: int
+    node: int
+    gid: int
+    entered: bool        # True = entered buffered mode, False = exited
+    reason: str
 
 
 @dataclass
@@ -56,6 +81,20 @@ class MessageTrace:
         return self.time_of(TraceEvent.BUFFER_INSERT) is not None
 
     @property
+    def was_dropped(self) -> bool:
+        return self.time_of(TraceEvent.DROP) is not None
+
+    def count_of(self, event: TraceEvent) -> int:
+        return sum(1 for record in self.records if record.event is event)
+
+    def seq_of(self, event: TraceEvent) -> Optional[int]:
+        """Global ordering index of the first record of ``event``."""
+        for record in self.records:
+            if record.event is event:
+                return record.seq
+        return None
+
+    @property
     def end_to_end(self) -> Optional[int]:
         start = self.time_of(TraceEvent.INJECT)
         end = self.time_of(TraceEvent.HANDLED)
@@ -72,6 +111,10 @@ class MessageTracer:
         self._by_message: Dict[int, MessageTrace] = {}
         self.records = 0
         self.dropped = 0
+        #: msg_id -> routing metadata (stamped by the fabric at launch).
+        self.meta: Dict[int, MessageMeta] = {}
+        #: Two-case mode transitions, in simulation order.
+        self.mode_records: List[ModeRecord] = []
 
     # -- recording hooks (called from runtime/kernel/fabric) -----------
     def record(self, time: int, event: TraceEvent, msg_id: int,
@@ -84,8 +127,26 @@ class MessageTracer:
             trace = MessageTrace(msg_id)
             self._by_message[msg_id] = trace
         trace.records.append(TraceRecord(time, event, msg_id, node,
-                                         detail))
+                                         detail, seq=self.records))
         self.records += 1
+
+    def note_message(self, message) -> None:
+        """Stamp a message's routing metadata (fabric launch hook)."""
+        if self.limit is not None and self.records >= self.limit:
+            return
+        self.meta[message.msg_id] = MessageMeta(
+            src=message.src, dst=message.dst, gid=message.gid,
+        )
+
+    def record_mode(self, time: int, node: int, gid: int, entered: bool,
+                    reason: str) -> None:
+        """Record a buffered-mode entry/exit (kernel hook)."""
+        if self.limit is not None and \
+                len(self.mode_records) >= self.limit:
+            return
+        self.mode_records.append(
+            ModeRecord(time, node, gid, entered, reason)
+        )
 
     # -- analysis -------------------------------------------------------
     def trace_of(self, msg_id: int) -> Optional[MessageTrace]:

@@ -26,6 +26,13 @@ def _runner_kwargs(args) -> dict:
     return {"jobs": args.jobs, "cache": cache}
 
 
+def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default="", metavar="PLAN",
+        help="fault plan, e.g. 'drop=0.05,seed=7' "
+             "(see docs/FAULTS.md; empty disables injection)")
+
+
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -79,7 +86,8 @@ def _cmd_table5(args) -> None:
 def _cmd_table6(args) -> None:
     from repro.experiments.standalone import table6_rows
 
-    rows = table6_rows(scale=args.scale, **_runner_kwargs(args))
+    rows = table6_rows(scale=args.scale, faults=args.faults,
+                       **_runner_kwargs(args))
     print(render_table(
         "Table 6: standalone application characteristics (8 nodes)",
         ["app", "model", "cycles", "msgs", "T_betw", "T_betw(paper)",
@@ -95,7 +103,8 @@ def _sweep(args):
     from repro.experiments.multiprog import full_sweep
 
     return full_sweep(skews=tuple(args.skews), trials=args.trials,
-                      scale=args.scale, **_runner_kwargs(args))
+                      scale=args.scale, faults=args.faults,
+                      **_runner_kwargs(args))
 
 
 def _cmd_fig7(args) -> None:
@@ -202,6 +211,47 @@ def _cmd_ablations(args) -> None:
     ))
 
 
+def _cmd_faultdemo(args) -> None:
+    from repro.faults.plan import FaultPlan
+    from repro.faults.runner import faulted_spec
+    from repro.runner import run_specs
+
+    plan = FaultPlan.parse(args.faults) if args.faults else None
+    canonical = plan.describe() if plan is not None else ""
+    spec = faulted_spec(
+        num_nodes=args.nodes, messages=args.messages, seed=args.seed,
+        faults=canonical, retries=not args.no_retries,
+    )
+    result = run_specs([spec], **_runner_kwargs(args))[0]
+    metrics = result.require()
+    extra = result.extra or {}
+    print(render_table(
+        "Fault-injection demo: reliable all-pairs "
+        f"({args.nodes} nodes x {args.messages} msgs, "
+        f"faults={canonical or 'none'}, "
+        f"retries={'off' if args.no_retries else 'on'})",
+        ["metric", "value"],
+        [
+            ["elapsed cycles", metrics.elapsed_cycles],
+            ["messages sent", metrics.messages_sent],
+            ["fabric drops (planned)", metrics.messages_dropped],
+            ["fabric duplicates", metrics.messages_duplicated],
+            ["retransmissions", metrics.retries],
+            ["acks sent", extra.get("acks_sent", 0)],
+            ["duplicates suppressed",
+             extra.get("duplicates_suppressed", 0)],
+            ["retry budget exhausted", extra.get("gave_up", 0)],
+            ["invariant violations", metrics.invariant_violations],
+        ],
+    ))
+    if metrics.invariant_violations:
+        codes = extra.get("violation_codes", "")
+        print(f"\nviolation codes: {codes}")
+        details = extra.get("transport_violations", "")
+        if details:
+            print(details)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p6 = sub.add_parser("table6", help="application characteristics")
     p6.add_argument("--scale", choices=("fast", "bench"), default="bench")
+    _add_faults_flag(p6)
     _add_runner_flags(p6)
     p6.set_defaults(fn=_cmd_table6)
 
@@ -229,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trials", type=int, default=3)
         p.add_argument("--scale", choices=("fast", "bench"),
                        default="bench")
+        _add_faults_flag(p)
         _add_runner_flags(p)
         p.set_defaults(fn=fn)
 
@@ -242,6 +294,21 @@ def build_parser() -> argparse.ArgumentParser:
     pa = sub.add_parser("ablations", help="design-choice ablations")
     _add_runner_flags(pa)
     pa.set_defaults(fn=_cmd_ablations)
+
+    pf = sub.add_parser(
+        "faultdemo",
+        help="reliable messaging over an injected-fault fabric")
+    _add_faults_flag(pf)
+    pf.add_argument("--nodes", type=int, default=4)
+    pf.add_argument("--messages", type=int, default=8,
+                    help="messages per node (round-robin all-pairs)")
+    pf.add_argument("--seed", type=int, default=7)
+    pf.add_argument("--no-retries", action="store_true",
+                    help="disable the ack/retry layer (negative "
+                         "control: the checker then reports the "
+                         "planned losses)")
+    _add_runner_flags(pf)
+    pf.set_defaults(fn=_cmd_faultdemo)
 
     return parser
 

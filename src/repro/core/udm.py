@@ -112,27 +112,16 @@ class UdmRuntime:
         self.node.dma.transfer(len(payload), on_done=done.trigger)
         if not done.triggered:
             yield done
-        message = self.ni.launch_bulk(dst, handler, payload,
-                                      privileged=False)
+        self.ni.launch_bulk(dst, handler, payload, privileged=False)
         self.sends += 1
         self.job.stats.messages_sent += 1
-        self._trace_inject(message)
 
     def _launch(self, dst: int, handler: Any,
                 payload: Tuple[Any, ...]) -> None:
         self.ni.describe(dst, handler, payload)
-        message = self.ni.launch(privileged=False)
+        self.ni.launch(privileged=False)
         self.sends += 1
         self.job.stats.messages_sent += 1
-        self._trace_inject(message)
-
-    def _trace_inject(self, message: Optional[Message]) -> None:
-        tracer = self.machine.tracer
-        if tracer is not None and message is not None:
-            from repro.analysis.trace import TraceEvent
-
-            tracer.record(self.engine.now, TraceEvent.INJECT,
-                          message.msg_id, self.node_index)
 
     def _trace_handled(self, message: Optional[Message],
                        detail: str) -> None:
@@ -331,6 +320,13 @@ class UdmRuntime:
         ni.set_kernel_uac(dispose_pending=True)
         ni.beginatom(INTERRUPT_DISABLE)
         yield Compute(costs.receive_entry_cost())
+        injector = self.machine.fault_injector
+        if injector is not None and \
+                injector.handler_page_fault(self.node_index):
+            # Synthetic page-fault storm: the handler faults before it
+            # runs; the kernel flips this job to buffered mode and the
+            # message is diverted (one of the Section 4.3 triggers).
+            yield from self.page_fault()
         message = ni.head
         handled = False
         if message is not None and ni.message_available:
@@ -383,6 +379,12 @@ class UdmRuntime:
                 message = state.buffer.head
                 self._dispose_done = False
                 start = self.engine.now
+                injector = self.machine.fault_injector
+                if injector is not None and \
+                        injector.handler_page_fault(self.node_index):
+                    # Storm hits the drain thread too; already
+                    # buffered, so this only costs the fault service.
+                    yield from self.page_fault()
                 yield from message.handler(self, message)
                 if not self._dispose_done:
                     raise TrapSignal(Trap.DISPOSE_FAILURE,

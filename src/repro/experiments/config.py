@@ -9,12 +9,16 @@ size, network constants) is an explicit, documented knob.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.atomicity import TimeoutPolicy
 from repro.core.costs import AtomicityMode, CostModel
 from repro.core.two_case import DeliveryArchitecture
 from repro.glaze.overflow import OverflowPolicy
 from repro.ni.interface import NiConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,10 @@ class SimulationConfig:
     # Reproducibility
     seed: int = 1
 
+    #: Optional deterministic fault plan (see :mod:`repro.faults`).
+    #: None (or a null plan) keeps the fabric perfectly reliable.
+    faults: Optional["FaultPlan"] = None
+
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("need at least one node")
@@ -100,3 +108,12 @@ class SimulationConfig:
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: "Optional[FaultPlan | str]"
+                    ) -> "SimulationConfig":
+        """A copy carrying a fault plan (object or compact string)."""
+        if isinstance(faults, str):
+            from repro.faults.plan import FaultPlan
+
+            faults = FaultPlan.parse(faults)
+        return replace(self, faults=faults)

@@ -36,30 +36,39 @@ DEFAULT_SKEWS = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
 
 def execute_multiprog(name: str, skew: float, seed: int = 1,
                       num_nodes: int = 8, scale: str = "bench",
-                      timeslice: int = 500_000):
+                      timeslice: int = 500_000, faults: str = ""):
     """Runner executor for one multiprogrammed run (kind ``multiprog``)."""
     metrics = run_multiprogrammed(name, skew, seed=seed,
                                   num_nodes=num_nodes, scale=scale,
-                                  timeslice=timeslice)
+                                  timeslice=timeslice, faults=faults)
     return metrics, {}
 
 
 def multiprog_spec(name: str, skew: float, seed: int = 1,
                    num_nodes: int = 8, scale: str = "bench",
-                   timeslice: int = 500_000) -> RunSpec:
-    """The :class:`RunSpec` describing one multiprogrammed run."""
-    return RunSpec.make(
-        "multiprog", name=name, skew=skew, seed=seed,
-        num_nodes=num_nodes, scale=scale, timeslice=timeslice,
-    )
+                   timeslice: int = 500_000,
+                   faults: str = "") -> RunSpec:
+    """The :class:`RunSpec` describing one multiprogrammed run.
+
+    The ``faults`` plan string joins the spec (and thus the cache key)
+    only when non-empty, so fault-free runs keep their historical keys
+    while any faulted variant hashes separately.
+    """
+    params = dict(name=name, skew=skew, seed=seed, num_nodes=num_nodes,
+                  scale=scale, timeslice=timeslice)
+    if faults:
+        params["faults"] = faults
+    return RunSpec.make("multiprog", **params)
 
 
 def run_multiprogrammed(name: str, skew: float, seed: int = 1,
                         num_nodes: int = 8, scale: str = "bench",
-                        timeslice: int = 500_000) -> RunMetrics:
+                        timeslice: int = 500_000,
+                        faults: str = "") -> RunMetrics:
     """One multiprogrammed run: workload vs null at a given skew."""
     config = SimulationConfig(num_nodes=num_nodes, seed=seed,
-                              skew_fraction=skew, timeslice=timeslice)
+                              skew_fraction=skew, timeslice=timeslice
+                              ).with_faults(faults or None)
     machine = Machine(config)
     app = make_workload(name, seed=seed, num_nodes=num_nodes, scale=scale)
     job = machine.add_job(app)
@@ -106,12 +115,12 @@ class SkewSweepResult:
 
 
 def _sweep_specs(name: str, skews: Sequence[float], trials: int,
-                 num_nodes: int, scale: str,
-                 timeslice: int) -> List[RunSpec]:
+                 num_nodes: int, scale: str, timeslice: int,
+                 faults: str = "") -> List[RunSpec]:
     """Specs for one workload's sweep, trial-major within each skew."""
     return [
         multiprog_spec(name, skew, seed=seed + 1, num_nodes=num_nodes,
-                       scale=scale, timeslice=timeslice)
+                       scale=scale, timeslice=timeslice, faults=faults)
         for skew in skews
         for seed in range(trials)
     ]
@@ -141,10 +150,11 @@ def skew_sweep(name: str, skews: Sequence[float] = DEFAULT_SKEWS,
                scale: str = "bench",
                timeslice: int = 500_000,
                jobs: Optional[int] = None,
-               cache: Optional[ResultCache] = None) -> SkewSweepResult:
+               cache: Optional[ResultCache] = None,
+               faults: str = "") -> SkewSweepResult:
     """Sweep schedule quality for one workload."""
     specs = _sweep_specs(name, skews, trials, num_nodes, scale,
-                         timeslice)
+                         timeslice, faults)
     results = run_specs(specs, jobs=jobs, cache=cache)
     return _collect_sweep(name, skews, trials, results)
 
@@ -155,6 +165,7 @@ def full_sweep(skews: Sequence[float] = DEFAULT_SKEWS, trials: int = 3,
                timeslice: int = 500_000,
                jobs: Optional[int] = None,
                cache: Optional[ResultCache] = None,
+               faults: str = "",
                ) -> Dict[str, SkewSweepResult]:
     """The Figures 7/8 data set: every workload across the sweep.
 
@@ -164,7 +175,7 @@ def full_sweep(skews: Sequence[float] = DEFAULT_SKEWS, trials: int = 3,
     specs: List[RunSpec] = []
     for name in names:
         specs.extend(_sweep_specs(name, skews, trials, num_nodes, scale,
-                                  timeslice))
+                                  timeslice, faults))
     results = run_specs(specs, jobs=jobs, cache=cache)
     per_workload = len(skews) * trials
     return {

@@ -42,26 +42,33 @@ class Table6Row:
 
 
 def execute_standalone(name: str, num_nodes: int = 8, seed: int = 1,
-                       scale: str = "bench"):
+                       scale: str = "bench", faults: str = ""):
     """Runner executor for one standalone run (kind ``standalone``)."""
     metrics = run_standalone(name, num_nodes=num_nodes, seed=seed,
-                             scale=scale)
+                             scale=scale, faults=faults)
     return metrics, {}
 
 
 def standalone_spec(name: str, num_nodes: int = 8, seed: int = 1,
-                    scale: str = "bench") -> RunSpec:
-    """The :class:`RunSpec` describing one standalone run."""
-    return RunSpec.make("standalone", name=name, num_nodes=num_nodes,
-                        seed=seed, scale=scale)
+                    scale: str = "bench", faults: str = "") -> RunSpec:
+    """The :class:`RunSpec` describing one standalone run.
+
+    ``faults`` joins the spec (and thus the cache key) only when
+    non-empty, so fault-free runs keep their historical keys.
+    """
+    params = dict(name=name, num_nodes=num_nodes, seed=seed, scale=scale)
+    if faults:
+        params["faults"] = faults
+    return RunSpec.make("standalone", **params)
 
 
 def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
-                   scale: str = "bench",
+                   scale: str = "bench", faults: str = "",
                    config: Optional[SimulationConfig] = None) -> RunMetrics:
     """One standalone run of a workload; returns its metrics."""
     if config is None:
-        config = SimulationConfig(num_nodes=num_nodes, seed=seed)
+        config = SimulationConfig(num_nodes=num_nodes,
+                                  seed=seed).with_faults(faults or None)
     machine = Machine(config)
     app = make_workload(name, seed=seed, num_nodes=num_nodes, scale=scale)
     job = machine.add_job(app)
@@ -73,11 +80,12 @@ def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
 def table6_rows(num_nodes: int = 8, seed: int = 1,
                 scale: str = "bench",
                 jobs: Optional[int] = None,
-                cache: Optional[ResultCache] = None) -> List[Table6Row]:
+                cache: Optional[ResultCache] = None,
+                faults: str = "") -> List[Table6Row]:
     """Table 6, one parallel batch: every workload standalone."""
     specs = [
         standalone_spec(name, num_nodes=num_nodes, seed=seed,
-                        scale=scale)
+                        scale=scale, faults=faults)
         for name in WORKLOAD_NAMES
     ]
     results = run_specs(specs, jobs=jobs, cache=cache)

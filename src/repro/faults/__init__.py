@@ -1,0 +1,31 @@
+"""Deterministic fault injection and delivery-invariant checking.
+
+Two-case delivery exists because the network and the receiving process
+misbehave; this package makes those misbehaviours *schedulable*:
+
+* :class:`~repro.faults.plan.FaultPlan` — a picklable, JSON-scalar
+  description of the perturbations to apply to one run (drops,
+  duplication, reordering, latency spikes, NI input-queue stalls,
+  forced atomicity-timer expiries, handler page-fault storms);
+* :class:`~repro.faults.injector.FaultInjector` — the seeded runtime
+  that turns a plan into concrete per-message decisions;
+* :class:`~repro.faults.checker.DeliveryInvariantChecker` — hooks the
+  tracer and asserts, at end of run, that the system's delivery
+  guarantees held (no unplanned loss, no duplicate handling, FIFO,
+  legal buffered-mode transitions, bounded buffers);
+* :class:`~repro.faults.hog.HogApplication` — an adversarial app that
+  floods a victim node which never extracts, driving overflow control.
+
+See ``docs/FAULTS.md`` for the fault taxonomy and the determinism
+contract (seed → identical schedule → identical metrics).
+"""
+
+from repro.faults.plan import FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.checker import DeliveryInvariantChecker, Violation
+from repro.faults.hog import HogApplication
+
+__all__ = [
+    "FaultPlan", "FaultInjector", "DeliveryInvariantChecker",
+    "Violation", "HogApplication",
+]

@@ -1,0 +1,317 @@
+"""End-of-run delivery-invariant checking.
+
+The :class:`DeliveryInvariantChecker` reconciles three independent
+records of one run — the message tracer's per-``msg_id`` lifecycle
+records, the live residual state of the machine (NI input queues,
+fabric backlogs, software buffers), and (optionally) the
+:class:`~repro.protocols.reliable.ReliableTransport` sequence ledgers —
+and reports every inconsistency as a :class:`Violation`.
+
+Invariants checked (see docs/FAULTS.md for the full statement):
+
+``unplanned-drop``
+    A ``DROP`` trace exists but the run carried no lossy fault plan.
+    On a reliable fabric nothing may ever be lost.
+``duplicate-handled``
+    One simulation ``msg_id`` was freed by the application more than
+    once. (Fabric duplicates get *fresh* ids, so each wire copy must
+    still be handled at most once; app-level dedup is the transport's
+    job and is checked via its ledgers.)
+``lost``
+    A message reached its destination NI (``DELIVER``) but was neither
+    handled nor found resident anywhere at end of run.
+``transport-loss`` / ``transport-order``
+    A reliable-transport sequence number was sent but neither
+    delivered, resident, still outstanding, nor within the declared
+    give-up set — or the per-pair delivery log is not the in-order
+    prefix exactly-once semantics require. With retries disabled this
+    is the *expected* finding for planned fabric losses (the negative
+    control).
+``fifo``
+    On a fault-free (or order-preserving) fabric, two messages of the
+    same (src, dst) pair were delivered out of injection order.
+``mode-reason`` / ``mode-alternation``
+    A buffered-mode transition carried an unknown cause, or
+    entries/exits for one (node, job) failed to alternate
+    enter → exit → enter …
+``buffer-bound``
+    A job's software buffer grew past the node's physical frame pool,
+    or crossed the overflow policy's suspension threshold without the
+    overflow controller ever suspending anything.
+
+The checker is read-only and usable on *any* run — with or without a
+fault plan — which is what makes it an always-on regression net rather
+than a fault-injection accessory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.trace import TraceEvent
+from repro.core.two_case import TransitionReason
+from repro.network.message import KERNEL_GID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+    from repro.protocols.reliable import ReliableTransport
+
+#: The one legal cause for *leaving* buffered mode.
+EXIT_REASON = "drained"
+
+_LEGAL_ENTER_REASONS = {reason.value for reason in TransitionReason}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    code: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.detail}"
+
+
+class DeliveryInvariantChecker:
+    """Audits a finished run against the delivery invariants.
+
+    Create via :meth:`Machine.enable_invariant_checker` *before* the
+    run (it needs unbounded tracing), then::
+
+        violations = checker.check(transports=[transport])
+        assert not violations, "\\n".join(map(str, violations))
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        if machine.tracer is None:
+            raise RuntimeError(
+                "invariant checker needs tracing enabled "
+                "(use Machine.enable_invariant_checker)"
+            )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def check(self, transports: Iterable["ReliableTransport"] = ()
+              ) -> List[Violation]:
+        violations: List[Violation] = []
+        resident = self._resident_ids()
+        self._check_conservation(violations, resident)
+        self._check_fifo(violations)
+        self._check_mode_transitions(violations)
+        self._check_buffer_bounds(violations)
+        for transport in transports:
+            self._check_transport(violations, transport)
+        return violations
+
+    # ------------------------------------------------------------------
+    # Residual machine state
+    # ------------------------------------------------------------------
+    def _resident_ids(self) -> Set[int]:
+        """msg_ids still held somewhere legitimate at end of run."""
+        machine = self.machine
+        resident: Set[int] = set()
+        for node in machine.nodes:
+            for message in node.ni._input:
+                resident.add(message.msg_id)
+            held = node.kernel.in_transit
+            if held is not None:
+                resident.add(held.msg_id)
+        for backlog in machine.fabric._blocked.values():
+            for message in backlog:
+                resident.add(message.msg_id)
+        for job in machine.jobs:
+            for state in job.node_states.values():
+                for message in state.buffer:
+                    resident.add(message.msg_id)
+        return resident
+
+    # ------------------------------------------------------------------
+    # Invariant 1: conservation — nothing lost, nothing handled twice
+    # ------------------------------------------------------------------
+    def _check_conservation(self, violations: List[Violation],
+                            resident: Set[int]) -> None:
+        machine = self.machine
+        tracer = machine.tracer
+        plan = getattr(machine.config, "faults", None)
+        lossy = plan is not None and plan.lossy
+        injector = machine.fault_injector
+        planned_drops = injector.dropped_ids if injector else frozenset()
+        for trace in tracer.traces():
+            msg_id = trace.msg_id
+            handled = trace.count_of(TraceEvent.HANDLED)
+            if handled > 1:
+                violations.append(Violation(
+                    "duplicate-handled",
+                    f"msg {msg_id} handled {handled} times",
+                ))
+            if trace.was_dropped:
+                if not lossy or msg_id not in planned_drops:
+                    violations.append(Violation(
+                        "unplanned-drop",
+                        f"msg {msg_id} dropped without a lossy plan",
+                    ))
+                continue
+            meta = tracer.meta.get(msg_id)
+            if meta is not None and meta.gid == KERNEL_GID:
+                # OS messages are consumed by the kernel's dispatch
+                # table, not freed by an application handler.
+                continue
+            delivered = trace.time_of(TraceEvent.DELIVER) is not None
+            if delivered and handled == 0 and msg_id not in resident:
+                violations.append(Violation(
+                    "lost",
+                    f"msg {msg_id} delivered to the NI but neither "
+                    "handled nor resident at end of run",
+                ))
+            # No DELIVER and no DROP: the run stopped with the message
+            # in flight (legal — e.g. an ack racing job completion).
+
+    # ------------------------------------------------------------------
+    # Invariant 2: per-(src, dst) FIFO on an order-preserving fabric
+    # ------------------------------------------------------------------
+    def _check_fifo(self, violations: List[Violation]) -> None:
+        machine = self.machine
+        plan = getattr(machine.config, "faults", None)
+        if plan is not None and (plan.unordered or plan.lossy
+                                 or plan.duplicate > 0):
+            return  # the plan legitimately perturbs arrival order
+        tracer = machine.tracer
+        pairs: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+        for trace in tracer.traces():
+            meta = tracer.meta.get(trace.msg_id)
+            if meta is None:
+                continue
+            inject = trace.seq_of(TraceEvent.INJECT)
+            deliver = trace.seq_of(TraceEvent.DELIVER)
+            if inject is None or deliver is None:
+                continue
+            pairs.setdefault((meta.src, meta.dst), []).append(
+                (inject, deliver, trace.msg_id)
+            )
+        for (src, dst), entries in pairs.items():
+            entries.sort()  # injection order
+            last_deliver = -1
+            for _inject, deliver, msg_id in entries:
+                if deliver < last_deliver:
+                    violations.append(Violation(
+                        "fifo",
+                        f"pair {src}->{dst}: msg {msg_id} overtook an "
+                        "earlier injection on a FIFO fabric",
+                    ))
+                last_deliver = max(last_deliver, deliver)
+
+    # ------------------------------------------------------------------
+    # Invariant 3: legal, alternating buffered-mode transitions
+    # ------------------------------------------------------------------
+    def _check_mode_transitions(self, violations: List[Violation]) -> None:
+        tracer = self.machine.tracer
+        in_buffered: Dict[Tuple[int, int], bool] = {}
+        for record in tracer.mode_records:
+            key = (record.node, record.gid)
+            currently = in_buffered.get(key, False)
+            if record.entered:
+                if record.reason not in _LEGAL_ENTER_REASONS:
+                    violations.append(Violation(
+                        "mode-reason",
+                        f"node {record.node} gid {record.gid}: entered "
+                        f"buffered mode for unknown cause "
+                        f"{record.reason!r}",
+                    ))
+                if currently:
+                    violations.append(Violation(
+                        "mode-alternation",
+                        f"node {record.node} gid {record.gid}: entered "
+                        f"buffered mode twice without an exit "
+                        f"(t={record.time})",
+                    ))
+                in_buffered[key] = True
+            else:
+                if record.reason != EXIT_REASON:
+                    violations.append(Violation(
+                        "mode-reason",
+                        f"node {record.node} gid {record.gid}: exited "
+                        f"buffered mode for unknown cause "
+                        f"{record.reason!r}",
+                    ))
+                if not currently:
+                    violations.append(Violation(
+                        "mode-alternation",
+                        f"node {record.node} gid {record.gid}: exited "
+                        f"buffered mode without entering it "
+                        f"(t={record.time})",
+                    ))
+                in_buffered[key] = False
+
+    # ------------------------------------------------------------------
+    # Invariant 4: buffer growth stays within physical bounds
+    # ------------------------------------------------------------------
+    def _check_buffer_bounds(self, violations: List[Violation]) -> None:
+        from repro.glaze.buffering import VirtualBuffer
+
+        machine = self.machine
+        bound = machine.config.frames_per_node
+        suspend_at = machine.config.overflow.suspend_pages
+        suspensions = machine.overflow.stats.suspensions
+        for job in machine.jobs:
+            for state in job.node_states.values():
+                buffer = state.buffer
+                if not isinstance(buffer, VirtualBuffer):
+                    continue  # pinned queues are bounded by construction
+                peak = buffer.stats.max_pages
+                if peak > bound:
+                    violations.append(Violation(
+                        "buffer-bound",
+                        f"job {job.name} node {state.node_id}: buffer "
+                        f"peaked at {peak} pages > {bound} frames",
+                    ))
+                if peak >= suspend_at and suspensions == 0:
+                    violations.append(Violation(
+                        "buffer-bound",
+                        f"job {job.name} node {state.node_id}: buffer "
+                        f"peaked at {peak} pages (suspend threshold "
+                        f"{suspend_at}) but overflow control never "
+                        "suspended",
+                    ))
+
+    # ------------------------------------------------------------------
+    # Invariant 5: reliable-transport exactly-once bookkeeping
+    # ------------------------------------------------------------------
+    def _check_transport(self, violations: List[Violation],
+                         transport: "ReliableTransport") -> None:
+        for src, dst in transport.pairs_used():
+            pair = (src, dst)
+            sent = transport.sent_count(src, dst)
+            log = transport.delivered_log.get(pair, [])
+            # Exactly-once, in-order delivery means the log is exactly
+            # the prefix 0, 1, 2, … — any deviation is a bug.
+            for position, seq in enumerate(log):
+                if seq != position:
+                    violations.append(Violation(
+                        "transport-order",
+                        f"pair {src}->{dst}: delivery log {log[:8]}... "
+                        f"breaks in-order exactly-once at index "
+                        f"{position}",
+                    ))
+                    break
+            delivered_upto = len(log)
+            stashed = transport._stash.get(pair, {})
+            for seq in range(delivered_upto, sent):
+                key = (src, dst, seq)
+                if key in transport.gave_up:
+                    continue  # planned, bounded loss (budget exhausted)
+                if seq in stashed:
+                    continue  # resident, awaiting resequencing
+                if key in transport._outstanding:
+                    continue  # retry still pending at end of run
+                violations.append(Violation(
+                    "transport-loss",
+                    f"pair {src}->{dst}: seq {seq} sent but never "
+                    "delivered (and no retry pending)",
+                ))
+
+
+__all__ = ["DeliveryInvariantChecker", "Violation", "EXIT_REASON"]

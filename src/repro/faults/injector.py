@@ -1,0 +1,161 @@
+"""The seeded fault-decision engine behind a :class:`FaultPlan`.
+
+One :class:`FaultInjector` exists per faulted machine. Each fault class
+draws from its own named :class:`~repro.sim.random.DeterministicRng`
+stream so enabling one fault never perturbs another's schedule — the
+same decorrelation property the experiment RNGs rely on. Decisions are
+consumed in simulation-event order, which the engine makes
+deterministic, so the whole fault schedule is a pure function of
+``(plan, event order)``.
+
+The injector is passive: the fabric, the network interfaces and the UDM
+runtime *ask* it at their fault points. It also keeps the ledgers
+(dropped / duplicated message ids, counters) the
+:class:`~repro.faults.checker.DeliveryInvariantChecker` reconciles at
+end of run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Set, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sim.random import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+    from repro.network.message import Message
+
+
+@dataclass
+class SendDecision:
+    """What the fabric should do with one launched message."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_latency: int = 0
+    #: When True the per-(src, dst) FIFO floor is waived and ``jitter``
+    #: cycles are added, letting the message overtake or be overtaken.
+    unordered: bool = False
+    jitter: int = 0
+
+
+_NO_FAULTS = SendDecision()
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into concrete runtime decisions."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._pair_set = plan.pair_set()
+        self._fabric_rng = DeterministicRng(plan.seed, "faults/fabric")
+        self._stall_rng = DeterministicRng(plan.seed, "faults/ni-stall")
+        self._handler_rng = DeterministicRng(plan.seed, "faults/handler")
+        self._timer_rng = DeterministicRng(plan.seed, "faults/timer")
+        # Ledgers for the invariant checker.
+        self.dropped_ids: Set[int] = set()
+        self.duplicate_ids: Set[int] = set()
+        self.drops = 0
+        self.duplicates = 0
+        self.spikes = 0
+        self.reorders = 0
+        self.stalls = 0
+        self.forced_expiries = 0
+        self.page_faults = 0
+
+    # ------------------------------------------------------------------
+    # Fabric hook (called once per launched message)
+    # ------------------------------------------------------------------
+    def on_send(self, message: "Message") -> SendDecision:
+        plan = self.plan
+        if plan.spare_kernel and message.is_kernel:
+            return _NO_FAULTS
+        if self._pair_set is not None and \
+                (message.src, message.dst) not in self._pair_set:
+            return _NO_FAULTS
+        rng = self._fabric_rng
+        decision = SendDecision()
+        if plan.drop and rng.random() < plan.drop:
+            decision.drop = True
+            self.drops += 1
+            return decision
+        if plan.duplicate and rng.random() < plan.duplicate:
+            decision.duplicate = True
+            self.duplicates += 1
+        if plan.spike and rng.random() < plan.spike:
+            decision.extra_latency = plan.spike_cycles
+            self.spikes += 1
+        if plan.reorder:
+            decision.unordered = True
+            decision.jitter = rng.uniform_int(0, plan.reorder)
+            self.reorders += 1
+        return decision
+
+    def note_dropped(self, msg_id: int) -> None:
+        self.dropped_ids.add(msg_id)
+
+    def note_duplicate(self, msg_id: int) -> None:
+        self.duplicate_ids.add(msg_id)
+
+    # ------------------------------------------------------------------
+    # NI hooks
+    # ------------------------------------------------------------------
+    def ni_stall_cycles(self, node_id: int) -> int:
+        """Cycles a fresh input-queue stall should last (0 = no stall)."""
+        plan = self.plan
+        if not plan.stall:
+            return 0
+        if self._stall_rng.random() < plan.stall:
+            self.stalls += 1
+            return plan.stall_cycles
+        return 0
+
+    def handler_page_fault(self, node_id: int) -> bool:
+        """Should this handler invocation synthesize a page fault?"""
+        rate = self.plan.page_fault_rate
+        if not rate:
+            return False
+        if self._handler_rng.random() < rate:
+            self.page_faults += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Machine-level schedule (forced atomicity-timer expiries)
+    # ------------------------------------------------------------------
+    def schedule_forced_expiries(self, machine: "Machine") -> None:
+        """Install the planned timer expiries on the event heap.
+
+        Called from :meth:`Machine.start`. Each expiry fires the NI's
+        atomicity-timeout path on a seeded node at a seeded time — the
+        revocation trigger, regardless of what the user was doing.
+        """
+        plan = self.plan
+        if not plan.expiries:
+            return
+        horizon = max(1, plan.expiry_horizon)
+        points: List[Tuple[int, int]] = sorted(
+            (self._timer_rng.uniform_int(1, horizon),
+             self._timer_rng.uniform_int(0, machine.config.num_nodes - 1))
+            for _ in range(plan.expiries)
+        )
+        for when, node_id in points:
+            ni = machine.nodes[node_id].ni
+
+            def fire(ni=ni) -> None:
+                self.forced_expiries += 1
+                ni.force_timeout()
+
+            machine.engine.call_after(when, fire)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector plan=[{self.plan.describe() or 'null'}] "
+            f"drops={self.drops} dups={self.duplicates} "
+            f"stalls={self.stalls}>"
+        )
+
+
+__all__ = ["FaultInjector", "SendDecision"]

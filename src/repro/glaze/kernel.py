@@ -72,6 +72,10 @@ class NodeKernel:
         #: Set when the mismatch service left a message in the network
         #: (pinned queue full): re-delivery retries after a delay.
         self._mismatch_retry = False
+        #: Message popped from the NI but not yet inserted/dispatched —
+        #: the mismatch service holds it across its yields. Tracked so
+        #: the invariant checker can count it as resident, not lost.
+        self.in_transit: Optional[Message] = None
 
         ni = node.ni
         ni.deliver_mismatch_available = self._raise_mismatch
@@ -200,14 +204,18 @@ class NodeKernel:
                     self._mismatch_retry = True
                     return
             message = ni.dispose(privileged=True)
+            self.in_transit = message
             if message.is_kernel:
                 yield from self._dispatch_kernel_message(message)
+                self.in_transit = None
                 continue
             state = self._target_state(message.gid)
             if state is None:
                 self.stats.dropped_unknown_gid += 1
+                self.in_transit = None
                 continue
             yield from self._insert_into_buffer(state, message)
+            self.in_transit = None
 
     def _target_state(self, gid: int) -> Optional[JobNodeState]:
         job = self.machine.job_by_gid(gid)
@@ -355,6 +363,10 @@ class NodeKernel:
             return
         state.mode = DeliveryMode.BUFFERED
         state.job.two_case.note_transition(reason)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.record_mode(self.engine.now, self.node.node_id,
+                               state.gid, True, reason.value)
         if state.runtime is not None:
             state.runtime.on_enter_buffered()
         if state is self.scheduled:
@@ -375,6 +387,10 @@ class NodeKernel:
         state.mode = DeliveryMode.FAST
         state.drain_active = False
         state.job.two_case.transitions_to_fast += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.record_mode(self.engine.now, self.node.node_id,
+                               state.gid, False, "drained")
         self.ni.set_kernel_uac(atomicity_extend=False)
         if state.runtime is not None:
             state.runtime.on_exit_buffered()
@@ -499,7 +515,12 @@ class NodeKernel:
         if state.mode is DeliveryMode.FAST:
             self.enter_buffered_mode(state, TransitionReason.PAGE_FAULT)
         # Zero-fill service time: map the page and return to the user.
-        state.space.map_fresh_page()
+        # With the frame pool dry, the page is reclaimed from the job's
+        # own working set instead (a soft fault) — a fault storm must
+        # degrade, not crash, and the remaining frames stay contended
+        # by virtual buffering under its own overflow control.
+        if state.space.pool.free_frames > 0:
+            state.space.map_fresh_page()
         yield Compute(self.costs.kernel.page_out // 10)
 
     # ------------------------------------------------------------------

@@ -65,6 +65,17 @@ class Machine:
         self.nodes: List[Node] = [
             Node(self, node_id) for node_id in range(self.config.num_nodes)
         ]
+        #: Optional fault injector (see repro.faults); wired when the
+        #: config carries a non-null FaultPlan.
+        self.fault_injector = None
+        plan = getattr(self.config, "faults", None)
+        if plan is not None and not plan.is_null():
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(plan)
+            self.fabric.injector = self.fault_injector
+            for node in self.nodes:
+                node.ni.fault_injector = self.fault_injector
         self.scheduler = GangScheduler(
             self, self.config.timeslice, self.config.skew_fraction
         )
@@ -82,6 +93,19 @@ class Machine:
         self.tracer = MessageTracer(limit=limit)
         self.fabric.tracer = self.tracer
         return self.tracer
+
+    def enable_invariant_checker(self):
+        """Attach a :class:`~repro.faults.DeliveryInvariantChecker`.
+
+        Enables unbounded tracing (the checker needs complete message
+        histories) and returns the checker; call ``checker.check()``
+        after the run. Always usable — with or without a fault plan.
+        """
+        from repro.faults.checker import DeliveryInvariantChecker
+
+        if self.tracer is None or self.tracer.limit is not None:
+            self.enable_tracing(limit=None)
+        return DeliveryInvariantChecker(self)
 
     # ------------------------------------------------------------------
     # Job management
@@ -152,6 +176,8 @@ class Machine:
         self.start_offset = self.engine.now
         for job in self.jobs:
             job.start_time = self.engine.now
+        if self.fault_injector is not None:
+            self.fault_injector.schedule_forced_expiries(self)
         self.scheduler.start()
 
     def run(self, until: Optional[int] = None,

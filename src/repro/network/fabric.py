@@ -21,6 +21,14 @@ Responsibilities:
 
 The fabric is deliberately ignorant of GIDs, protection and buffering —
 those live in the NI and the OS.
+
+Fault injection: when a :class:`~repro.faults.injector.FaultInjector`
+is attached (``fabric.injector``), the fabric becomes *unreliable* —
+per the plan, messages may be dropped (the credit is held until the
+would-be arrival, then released), duplicated (a copy with a fresh
+simulation identity), delayed by latency spikes (order-preserving), or
+reordered (the per-pair FIFO floor is waived and seeded jitter added).
+Kernel-GID traffic is spared by default (``FaultPlan.spare_kernel``).
 """
 
 from __future__ import annotations
@@ -53,6 +61,10 @@ class FabricStats:
     words_carried: int = 0
     sender_blocks: int = 0
     max_backlog: Dict[int, int] = field(default_factory=dict)
+    # Fault-injection outcomes (always zero on a reliable fabric).
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    latency_spikes: int = 0
 
     @property
     def mean_latency(self) -> float:
@@ -84,6 +96,10 @@ class NetworkFabric:
         self._last_arrival: Dict[tuple[int, int], int] = {}
         #: Optional message tracer (set by Machine.enable_tracing).
         self.tracer = None
+        #: Optional fault injector (set by Machine for faulted runs).
+        #: When present the fabric becomes *unreliable*: messages may be
+        #: dropped, duplicated, delayed or reordered per the plan.
+        self.injector = None
 
     def attach(self, node_id: int, port: DeliveryPort) -> None:
         """Register the network interface serving ``node_id``."""
@@ -135,17 +151,86 @@ class NetworkFabric:
         self._occupancy[message.dst] += 1
         self.stats.messages_sent += 1
         self.stats.words_carried += message.length_words
+        if self.tracer is not None:
+            from repro.analysis.trace import TraceEvent
+
+            self.tracer.note_message(message)
+            self.tracer.record(engine.now, TraceEvent.INJECT,
+                               message.msg_id, message.src)
 
         latency = self.topology.latency(
             message.src, message.dst, message.length_words
         )
-        pair = (message.src, message.dst)
+        if self.injector is None:
+            self._schedule_arrival(message, latency)
+            return
+        decision = self.injector.on_send(message)
+        if decision.drop:
+            # The doomed flits still occupy the channel until their
+            # would-be arrival; only then does the credit free up.
+            self.stats.messages_dropped += 1
+            engine.call_after(latency, lambda: self._dropped(message))
+            return
+        if decision.extra_latency:
+            self.stats.latency_spikes += 1
+            latency += decision.extra_latency
+        if decision.duplicate:
+            self._send_duplicate(message, latency)
+        self._schedule_arrival(message, latency,
+                               unordered=decision.unordered,
+                               jitter=decision.jitter)
+
+    def _schedule_arrival(self, message: Message, latency: int,
+                          unordered: bool = False,
+                          jitter: int = 0) -> None:
+        engine = self.engine
         arrival = engine.now + latency
-        floor = self._last_arrival.get(pair, -1) + 1
-        if arrival < floor:
-            arrival = floor
-        self._last_arrival[pair] = arrival
+        if unordered:
+            # Reordering fault: waive the FIFO floor so this message
+            # may overtake (or be overtaken by) its pair neighbours.
+            arrival += jitter
+        else:
+            pair = (message.src, message.dst)
+            floor = self._last_arrival.get(pair, -1) + 1
+            if arrival < floor:
+                arrival = floor
+            self._last_arrival[pair] = arrival
         engine.call_at(arrival, lambda: self._arrive(message))
+
+    def _send_duplicate(self, original: Message, latency: int) -> None:
+        """Inject a fabric-made copy of ``original`` (same wire bits,
+        fresh simulation identity). The copy transiently overcommits
+        the destination's credit by one slot — the modelling cost of a
+        fault the credit protocol never budgeted for."""
+        copy = Message(
+            dst=original.dst, handler=original.handler,
+            payload=original.payload, src=original.src,
+            gid=original.gid, bulk=original.bulk,
+        )
+        copy.inject_time = self.engine.now
+        self._occupancy[copy.dst] += 1
+        self.stats.messages_duplicated += 1
+        if self.injector is not None:
+            self.injector.note_duplicate(copy.msg_id)
+        if self.tracer is not None:
+            from repro.analysis.trace import TraceEvent
+
+            self.tracer.note_message(copy)
+            self.tracer.record(self.engine.now, TraceEvent.DUPLICATE,
+                               copy.msg_id, copy.src,
+                               f"dup-of={original.msg_id}")
+        self._schedule_arrival(copy, latency + 1, unordered=True)
+
+    def _dropped(self, message: Message) -> None:
+        """A planned drop reached its loss point: release the slot."""
+        if self.injector is not None:
+            self.injector.note_dropped(message.msg_id)
+        if self.tracer is not None:
+            from repro.analysis.trace import TraceEvent
+
+            self.tracer.record(self.engine.now, TraceEvent.DROP,
+                               message.msg_id, message.dst, "planned")
+        self._release_slot(message.dst)
 
     # ------------------------------------------------------------------
     # Arrival / backpressure
@@ -190,7 +275,9 @@ class NetworkFabric:
                                message.msg_id, message.dst)
         self.stats.messages_delivered += 1
         self.stats.total_latency += message.deliver_time - message.inject_time
-        dst = message.dst
+        self._release_slot(message.dst)
+
+    def _release_slot(self, dst: int) -> None:
         self._occupancy[dst] -= 1
         waiters = self._credit_waiters[dst]
         if waiters and self.has_credit(dst):

@@ -61,6 +61,8 @@ class NiStats:
     mismatch_interrupts: int = 0
     atomicity_timeouts: int = 0
     max_input_queue: int = 0
+    input_stalls: int = 0          # fault-injected transient stalls
+    forced_timeouts: int = 0       # fault-injected timer expiries
 
 
 class NetworkInterface:
@@ -90,6 +92,12 @@ class NetworkInterface:
         # In-service latches (see module docstring).
         self._mismatch_in_service = False
         self._upcall_in_service = False
+
+        #: Optional fault injector (set by the machine). While a stall
+        #: is active the interface refuses network deliveries, exactly
+        #: the full-input-queue condition the atomicity timer bounds.
+        self.fault_injector = None
+        self._stalled_until = -1
 
         fabric.attach(node_id, self)
 
@@ -135,13 +143,34 @@ class NetworkInterface:
     # ------------------------------------------------------------------
     def network_deliver(self, message: Message) -> bool:
         """Fabric offers a message; accept if the input queue has room."""
+        if self._stalled_until > self.engine.now:
+            return False
         if len(self._input) >= self.config.input_queue_capacity:
             return False
+        if self.fault_injector is not None:
+            cycles = self.fault_injector.ni_stall_cycles(self.node_id)
+            if cycles > 0:
+                # Transient input stall: refuse deliveries until the
+                # stall clears, then drain whatever blocked behind it.
+                self._stalled_until = self.engine.now + cycles
+                self.stats.input_stalls += 1
+                self.engine.call_after(cycles, self._stall_over)
+                return False
         self._input.append(message)
         if len(self._input) > self.stats.max_input_queue:
             self.stats.max_input_queue = len(self._input)
         self._update()
         return True
+
+    def _stall_over(self) -> None:
+        self.fabric.input_space_freed(self.node_id)
+        self._update()
+
+    def force_timeout(self) -> None:
+        """Fault hook: fire the atomicity-timeout path unconditionally,
+        as if the hardware counter had just reached zero."""
+        self.stats.forced_timeouts += 1
+        self._timeout_fired()
 
     # ------------------------------------------------------------------
     # Table 1 operations

@@ -46,11 +46,20 @@ class Channel:
 
 
 class ChannelSet:
-    """The per-job registry and message plumbing for channels."""
+    """The per-job registry and message plumbing for channels.
 
-    def __init__(self, num_nodes: int) -> None:
+    Pass a :class:`~repro.protocols.reliable.ReliableTransport` as
+    ``transport`` to keep stream order and credit conservation over a
+    faulty fabric (items and credits then travel sequenced, acked and
+    retried).
+    """
+
+    def __init__(self, num_nodes: int, transport=None) -> None:
         self.num_nodes = num_nodes
         self._channels: Dict[int, Channel] = {}
+        self.transport = transport
+        if transport is not None:
+            transport.bind(self._deliver_reliable)
 
     def create(self, channel_id: int, producer: int, consumer: int,
                window: int = 16) -> Channel:
@@ -76,6 +85,10 @@ class ChannelSet:
             yield channel._credit_event
         channel.credits -= 1
         channel.items_sent += 1
+        if self.transport is not None:
+            yield from self.transport.send(rt, channel.consumer,
+                                           ("i", channel_id, item))
+            return
         yield from rt.inject(channel.consumer, self._h_item,
                              (channel_id, item))
 
@@ -83,6 +96,9 @@ class ChannelSet:
         channel_id, item = msg.payload
         yield from rt.dispose_current()
         yield Compute(10)
+        self._item_in(channel_id, item)
+
+    def _item_in(self, channel_id: int, item: Any) -> None:
         channel = self._channels[channel_id]
         channel._items.append(item)
         if channel._data_event is not None and \
@@ -103,17 +119,39 @@ class ChannelSet:
             yield channel._data_event
         item = channel._items.popleft()
         channel.items_taken += 1
-        yield from rt.inject(channel.producer, self._h_credit,
-                             (channel_id,))
+        if self.transport is not None:
+            yield from self.transport.send(rt, channel.producer,
+                                           ("c", channel_id))
+        else:
+            yield from rt.inject(channel.producer, self._h_credit,
+                                 (channel_id,))
         return item
 
     def _h_credit(self, rt: UdmRuntime, msg) -> Generator:
         (channel_id,) = msg.payload
         yield from rt.dispose_current()
         yield Compute(5)
+        self._credit_in(channel_id)
+
+    def _credit_in(self, channel_id: int) -> None:
         channel = self._channels[channel_id]
         channel.credits += 1
         if channel._credit_event is not None and \
                 not channel._credit_event.triggered:
             event, channel._credit_event = channel._credit_event, None
             event.trigger()
+
+    # ------------------------------------------------------------------
+    # Reliable-transport path
+    # ------------------------------------------------------------------
+    def _deliver_reliable(self, rt: UdmRuntime, src: int,
+                          payload: tuple) -> Generator:
+        """Transport delivery callback: dispatch by message kind."""
+        if payload[0] == "i":
+            _, channel_id, item = payload
+            yield Compute(10)
+            self._item_in(channel_id, item)
+        else:
+            _, channel_id = payload
+            yield Compute(5)
+            self._credit_in(channel_id)

@@ -45,10 +45,16 @@ class _PendingCall:
 
 
 class RpcEndpoint:
-    """A job-wide RPC fabric over UDM messages."""
+    """A job-wide RPC fabric over UDM messages.
+
+    Pass a :class:`~repro.protocols.reliable.ReliableTransport` as
+    ``transport`` to keep request/response semantics over a faulty
+    fabric: requests and replies then travel sequenced, acked and
+    retried, and each call still completes exactly once.
+    """
 
     def __init__(self, num_nodes: int, request_overhead: int = 30,
-                 reply_overhead: int = 15) -> None:
+                 reply_overhead: int = 15, transport=None) -> None:
         self.num_nodes = num_nodes
         self.request_overhead = request_overhead
         self.reply_overhead = reply_overhead
@@ -57,6 +63,9 @@ class RpcEndpoint:
         self._call_ids = itertools.count(1)
         self.calls_issued = 0
         self.calls_served = 0
+        self.transport = transport
+        if transport is not None:
+            transport.bind(self._deliver_reliable)
 
     # ------------------------------------------------------------------
     # Server side
@@ -72,22 +81,25 @@ class RpcEndpoint:
         args = msg.payload[3:]
         yield from rt.dispose_current()
         yield Compute(self.request_overhead)
+        failed, payload = yield from self._execute(rt, name, args)
+        yield from rt.inject(caller, self._h_reply,
+                             (call_id, failed, payload))
+
+    def _execute(self, rt: UdmRuntime, name: str,
+                 args: Tuple[Any, ...]) -> Generator:
+        """Run a registered procedure; returns ``(failed, payload)``."""
         proc = self._procs.get(name)
         if proc is None:
-            yield from rt.inject(caller, self._h_reply,
-                                 (call_id, 1, f"no procedure {name!r}"))
-            return
+            return 1, f"no procedure {name!r}"
         try:
             if inspect.isgeneratorfunction(proc):
                 result = yield from proc(rt, *args)
             else:
                 result = proc(rt, *args)
         except Exception as exc:  # the remote error travels back
-            yield from rt.inject(caller, self._h_reply,
-                                 (call_id, 1, repr(exc)))
-            return
+            return 1, repr(exc)
         self.calls_served += 1
-        yield from rt.inject(caller, self._h_reply, (call_id, 0, result))
+        return 0, result
 
     # ------------------------------------------------------------------
     # Client side
@@ -96,7 +108,11 @@ class RpcEndpoint:
         call_id, failed, payload = msg.payload
         yield from rt.dispose_current()
         yield Compute(self.reply_overhead)
-        pending = self._pending.pop((rt.node_index, call_id), None)
+        self._resolve(rt.node_index, call_id, failed, payload)
+
+    def _resolve(self, node: int, call_id: int, failed: int,
+                 payload: Any) -> None:
+        pending = self._pending.pop((node, call_id), None)
         if pending is None:
             return  # stale reply (cancelled caller)
         if failed:
@@ -104,6 +120,26 @@ class RpcEndpoint:
         else:
             pending.result = payload
         pending.event.trigger()
+
+    # ------------------------------------------------------------------
+    # Reliable-transport path (both sides)
+    # ------------------------------------------------------------------
+    def _deliver_reliable(self, rt: UdmRuntime, src: int,
+                          payload: Tuple[Any, ...]) -> Generator:
+        """Transport delivery callback: dispatch by message kind."""
+        kind = payload[0]
+        if kind == "q":
+            call_id, name = payload[1], payload[2]
+            args = payload[3:]
+            yield Compute(self.request_overhead)
+            failed, result = yield from self._execute(rt, name, args)
+            yield from self.transport.send(
+                rt, src, ("r", call_id, failed, result)
+            )
+        else:
+            call_id, failed, result = payload[1], payload[2], payload[3]
+            yield Compute(self.reply_overhead)
+            self._resolve(rt.node_index, call_id, failed, result)
 
     def call(self, rt: UdmRuntime, server: int, proc: str,
              args: Tuple[Any, ...] = ()) -> Generator:
@@ -115,8 +151,12 @@ class RpcEndpoint:
         self._pending[(rt.node_index, call_id)] = pending
         self.calls_issued += 1
         yield Compute(10)  # stub marshalling
-        yield from rt.inject(server, self._h_request,
-                             (rt.node_index, call_id, proc, *args))
+        if self.transport is not None:
+            yield from self.transport.send(rt, server,
+                                           ("q", call_id, proc, *args))
+        else:
+            yield from rt.inject(server, self._h_request,
+                                 (rt.node_index, call_id, proc, *args))
         if not pending.event.triggered:
             yield pending.event
         if pending.failed is not None:

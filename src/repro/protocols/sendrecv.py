@@ -39,9 +39,16 @@ class _PostedRecv:
 
 
 class SendRecv:
-    """Per-job two-sided messaging endpoint."""
+    """Per-job two-sided messaging endpoint.
 
-    def __init__(self, num_nodes: int, match_overhead: int = 20) -> None:
+    Pass a :class:`~repro.protocols.reliable.ReliableTransport` as
+    ``transport`` to keep these semantics over a faulty fabric: sends
+    then ride the sequenced, acked, retried layer and the matching
+    logic runs as its in-order delivery callback.
+    """
+
+    def __init__(self, num_nodes: int, match_overhead: int = 20,
+                 transport=None) -> None:
         self.num_nodes = num_nodes
         self.match_overhead = match_overhead
         #: (source, tag, payload) triples not yet received, per node.
@@ -53,6 +60,9 @@ class SendRecv:
         }
         self.eager_sends = 0
         self.unexpected_peak = 0
+        self.transport = transport
+        if transport is not None:
+            transport.bind(self._deliver_reliable)
 
     # ------------------------------------------------------------------
     # Sending
@@ -61,6 +71,9 @@ class SendRecv:
              payload: Tuple[Any, ...] = ()) -> Generator:
         """Eager tagged send (returns when the message is injected)."""
         self.eager_sends += 1
+        if self.transport is not None:
+            yield from self.transport.send(rt, dst, (tag, *payload))
+            return
         yield from rt.inject(dst, self._h_eager,
                              (rt.node_index, tag, *payload))
 
@@ -69,7 +82,17 @@ class SendRecv:
         payload = msg.payload[2:]
         yield from rt.dispose_current()
         yield Compute(self.match_overhead)
-        node = rt.node_index
+        self._match_in(rt.node_index, source, tag, payload)
+
+    def _deliver_reliable(self, rt: UdmRuntime, source: int,
+                          payload: Tuple[Any, ...]) -> Generator:
+        # Transport delivery callback: dispose/sequencing already done.
+        tag = payload[0]
+        yield Compute(self.match_overhead)
+        self._match_in(rt.node_index, source, tag, tuple(payload[1:]))
+
+    def _match_in(self, node: int, source: int, tag: int,
+                  payload: Tuple[Any, ...]) -> None:
         for posted in self._posted[node]:
             if posted.matched is None and posted.matches(source, tag):
                 posted.matched = (source, tag, payload)

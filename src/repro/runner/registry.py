@@ -34,6 +34,7 @@ EXECUTORS: Dict[str, str] = {
     "ablate_architecture":
         "repro.experiments.ablations:execute_architecture",
     "ablate_bulk": "repro.experiments.ablations:execute_bulk",
+    "faulted": "repro.faults.runner:execute_faulted",
 }
 
 _resolved: Dict[str, Executor] = {}

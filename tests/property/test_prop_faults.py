@@ -1,0 +1,169 @@
+"""Property tests for fault injection, recovery and the checker.
+
+The headline property is the ISSUE's acceptance criterion in
+miniature: *any* random fault plan, run through the reliable all-pairs
+workload with retries on, must finish with zero invariant violations —
+the ack/retry layer repairs whatever the injector schedules, and the
+checker proves it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultPlan
+from repro.faults.runner import faulted_spec, run_faulted
+from repro.machine.processor import Compute
+from repro.protocols.reliable import ReliableTransport
+from repro.protocols.sendrecv import SendRecv
+
+from tests.conftest import ScriptedApplication
+
+#: Random-but-survivable fault plans: probabilities stay moderate so
+#: the retry budget always suffices and runs stay short.
+plan_strategy = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop=st.floats(min_value=0.0, max_value=0.3),
+    duplicate=st.floats(min_value=0.0, max_value=0.3),
+    reorder=st.integers(min_value=0, max_value=400),
+    spike=st.floats(min_value=0.0, max_value=0.2),
+    spike_cycles=st.integers(min_value=100, max_value=3_000),
+    stall=st.floats(min_value=0.0, max_value=0.2),
+    stall_cycles=st.integers(min_value=50, max_value=800),
+    expiries=st.integers(min_value=0, max_value=3),
+    expiry_horizon=st.integers(min_value=1_000, max_value=30_000),
+    page_fault_rate=st.floats(min_value=0.0, max_value=0.1),
+)
+
+
+@given(plan=plan_strategy,
+       seed=st.integers(min_value=1, max_value=50),
+       num_nodes=st.integers(min_value=2, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_random_fault_plans_yield_zero_violations(plan, seed, num_nodes):
+    """Retries on: every random plan ends clean (exactly-once holds)."""
+    metrics, transport, violations, _machine = run_faulted(
+        num_nodes=num_nodes, messages=4, seed=seed,
+        faults=plan.describe(), retries=True,
+    )
+    assert violations == [], [str(v) for v in violations]
+    assert metrics.invariant_violations == 0
+    # Every node got exactly its expected arrivals, no extras.
+    total = sum(len(transport.inbox[n]) for n in range(num_nodes))
+    assert total == num_nodes * 4
+    assert not transport.gave_up
+
+
+@given(plan=plan_strategy)
+@settings(max_examples=100, deadline=None)
+def test_plan_describe_parse_roundtrip(plan):
+    """describe() is a lossless canonical form (cache-key safety)."""
+    text = plan.describe()
+    parsed = FaultPlan.parse(text)
+    if text == "":
+        assert parsed is None          # all-defaults plan: no faults
+        assert plan == FaultPlan()
+    else:
+        assert parsed == plan
+        # Canonical: re-describing the parse reproduces the string.
+        assert parsed.describe() == text
+
+
+@given(plan=plan_strategy)
+@settings(max_examples=50, deadline=None)
+def test_faulted_and_fault_free_specs_never_collide(plan):
+    """A plan in the spec always moves the cache key."""
+    from repro.runner.spec import spec_key
+
+    base = faulted_spec(num_nodes=4, messages=8, seed=7, faults="")
+    faulty = faulted_spec(num_nodes=4, messages=8, seed=7,
+                          faults=plan.describe())
+    if plan.describe() == "":
+        assert spec_key(faulty) == spec_key(base)
+    else:
+        assert spec_key(faulty) != spec_key(base)
+
+
+def test_fault_free_experiment_specs_keep_historical_keys():
+    """faults="" adds no param: pre-existing cache entries stay valid."""
+    from repro.experiments.multiprog import multiprog_spec
+    from repro.experiments.standalone import standalone_spec
+    from repro.runner.spec import spec_key
+
+    for spec in (multiprog_spec("barrier", 0.05, faults=""),
+                 standalone_spec("barrier", faults="")):
+        assert "faults" not in spec.as_dict()
+    for spec in (multiprog_spec("barrier", 0.05, faults="drop=0.01"),
+                 standalone_spec("barrier", faults="drop=0.01")):
+        assert spec.as_dict()["faults"] == "drop=0.01"
+    assert (spec_key(multiprog_spec("barrier", 0.05, faults=""))
+            != spec_key(multiprog_spec("barrier", 0.05,
+                                       faults="drop=0.01")))
+
+
+#: (destination, tag, pre-send delay) per message, per node — the same
+#: shape as test_prop_protocols, now over a lossy, duplicating fabric.
+NODES = 3
+lossy_plan_strategy = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=NODES - 1),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=300),
+        ),
+        max_size=5,
+    ),
+    min_size=NODES, max_size=NODES,
+)
+
+
+@given(plan=lossy_plan_strategy,
+       fault_seed=st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=25, deadline=None)
+def test_sendrecv_fifo_within_match_class_over_lossy_fabric(
+        plan, fault_seed):
+    """Random interleavings over drop+duplicate faults: the two-sided
+    layer still delivers everything exactly once, FIFO per (source,
+    tag) match class."""
+    from repro.experiments.config import SimulationConfig
+    from repro.machine.machine import Machine
+
+    config = SimulationConfig(num_nodes=NODES, seed=1).with_faults(
+        f"seed={fault_seed},drop=0.15,duplicate=0.15")
+    machine = Machine(config)
+    transport = ReliableTransport(NODES)
+    sr = SendRecv(NODES, transport=transport)
+    expected = {n: 0 for n in range(NODES)}
+    for sends in plan:
+        for dst, _tag, _delay in sends:
+            expected[dst] += 1
+    received = {n: [] for n in range(NODES)}
+
+    def script(app, rt, idx):
+        seq = 0
+        for dst, tag, delay in plan[idx]:
+            if delay:
+                yield Compute(delay)
+            yield from sr.send(rt, dst, tag, payload=(idx, seq))
+            seq += 1
+        while len(received[idx]) < expected[idx]:
+            result = yield from sr.recv(rt)
+            received[idx].append(result)
+
+    app = ScriptedApplication(script)
+    job = machine.add_job(app)
+    checker = machine.enable_invariant_checker()
+    machine.start()
+    machine.run_until_job_done(job, limit=2_000_000_000)
+
+    total = sum(len(msgs) for msgs in received.values())
+    assert total == sum(expected.values())
+    for _node, msgs in received.items():
+        last_seq = {}
+        for source, tag, payload in msgs:
+            sender, seq = payload
+            key = (sender, tag)
+            assert last_seq.get(key, -1) < seq  # exactly-once + FIFO
+            last_seq[key] = seq
+    violations = checker.check(transports=[transport])
+    assert violations == [], [str(v) for v in violations]

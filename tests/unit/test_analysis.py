@@ -55,3 +55,32 @@ class TestReport:
         assert format_count(12345.0) == "12,345"
         assert format_count(7) == "7"
         assert format_count("text") == "text"
+
+
+class TestRelativeRuntime:
+    """SkewSweepResult.relative_runtime baseline selection."""
+
+    @staticmethod
+    def _sweep(skews, cycles):
+        from repro.experiments.multiprog import SkewSweepResult
+
+        return SkewSweepResult(
+            name="x", skews=list(skews),
+            metrics=[RunMetrics(elapsed_cycles=c) for c in cycles],
+        )
+
+    def test_normalizes_to_zero_skew_point(self):
+        sweep = self._sweep([0.05, 0.0, 0.2], [150, 100, 300])
+        assert sweep.relative_runtime == [1.5, 1.0, 3.0]
+
+    def test_no_zero_skew_falls_back_to_first_point(self):
+        sweep = self._sweep([0.01, 0.05], [200, 500])
+        assert sweep.relative_runtime == [1.0, 2.5]
+
+    def test_zero_baseline_yields_all_ones(self):
+        sweep = self._sweep([0.0, 0.1], [0, 400])
+        assert sweep.relative_runtime == [1.0, 1.0]
+
+    def test_empty_sweep_yields_empty(self):
+        sweep = self._sweep([], [])
+        assert sweep.relative_runtime == []

@@ -136,3 +136,107 @@ class TestOverflowPolicy:
         policy = OverflowPolicy()
         assert policy.advise_pages < policy.suspend_pages
         assert policy.suspend_duration > 0
+
+
+class _StubScheduler:
+    def __init__(self):
+        self.advised = []
+        self.suspended = []
+
+    def advise_gang(self, job):
+        self.advised.append(job)
+        job.needs_gang_advice = True
+
+    def suspend_job(self, job, duration):
+        self.suspended.append((job, duration))
+        job.suspended = True
+
+
+class _StubSecondNetwork:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, src, dst, kind, body):
+        self.sent.append((src, dst, kind, body))
+
+
+class _StubJob:
+    def __init__(self):
+        self.needs_gang_advice = False
+        self.suspended = False
+
+
+class _StubState:
+    def __init__(self, job, pages, gid=3):
+        self.job = job
+        self.gid = gid
+        self.buffer = type("B", (), {"pages_in_use": pages})()
+
+
+class _StubKernel:
+    def __init__(self, num_nodes=4, node_id=1):
+        self.machine = type("M", (), {})()
+        self.machine.scheduler = _StubScheduler()
+        self.machine.second_network = _StubSecondNetwork()
+        self.machine.nodes = [
+            type("N", (), {"node_id": n})() for n in range(num_nodes)
+        ]
+        self.node = self.machine.nodes[node_id]
+
+
+class TestOverflowControl:
+    """Bound accounting: each threshold acts exactly once per job."""
+
+    @staticmethod
+    def _control():
+        from repro.glaze.overflow import OverflowControl
+
+        return OverflowControl(OverflowPolicy(advise_pages=4,
+                                              suspend_pages=8,
+                                              suspend_duration=1_000))
+
+    def test_below_thresholds_does_nothing(self):
+        control, kernel, job = self._control(), _StubKernel(), _StubJob()
+        control.on_insert(kernel, _StubState(job, pages=3))
+        assert control.stats.advisories == 0
+        assert control.stats.suspensions == 0
+
+    def test_advise_threshold_fires_once(self):
+        control, kernel, job = self._control(), _StubKernel(), _StubJob()
+        state = _StubState(job, pages=4)
+        control.on_insert(kernel, state)
+        control.on_insert(kernel, state)  # flag set: no repeat
+        assert control.stats.advisories == 1
+        assert kernel.machine.scheduler.advised == [job]
+        assert control.stats.suspensions == 0
+
+    def test_suspend_threshold_suspends_globally_once(self):
+        control, kernel, job = self._control(), _StubKernel(), _StubJob()
+        state = _StubState(job, pages=8, gid=7)
+        control.on_insert(kernel, state)
+        control.on_insert(kernel, state)  # already suspended: no repeat
+        assert control.stats.suspensions == 1
+        assert kernel.machine.scheduler.suspended == [(job, 1_000)]
+        # The decision reaches every *other* node over the second
+        # network, tagged with the offending job's gid.
+        sent = kernel.machine.second_network.sent
+        assert len(sent) == 3
+        assert all(src == 1 and kind == "suspend-job"
+                   and body == {"gid": 7} for src, _dst, kind, body in sent)
+        assert sorted(dst for _s, dst, _k, _b in sent) == [0, 2, 3]
+
+    def test_suspend_threshold_implies_advice_first(self):
+        control, kernel, job = self._control(), _StubKernel(), _StubJob()
+        control.on_insert(kernel, _StubState(job, pages=9))
+        assert control.stats.advisories == 1
+        assert control.stats.suspensions == 1
+
+    def test_frames_exhausted_suspends_even_below_page_bound(self):
+        control, kernel, job = self._control(), _StubKernel(), _StubJob()
+        state = _StubState(job, pages=1)
+        control.on_frames_exhausted(kernel, state)
+        assert control.stats.exhaustion_events == 1
+        assert control.stats.suspensions == 1
+        control.on_frames_exhausted(kernel, state)  # counted, no re-act
+        assert control.stats.exhaustion_events == 2
+        assert control.stats.suspensions == 1

@@ -275,3 +275,94 @@ class TestInterruptDelivery:
         engine.run()
         assert ni.input_queue_length == 1
         assert fabric.blocked_count(1) == 2
+
+
+class TestTimerExpiryRearmRaces:
+    """Expiry/re-arm interleavings on the atomicity timer, plus the
+    fault hook that forces the timeout path from outside."""
+
+    def test_enable_while_running_does_not_retime(self):
+        engine = Engine()
+        fired = []
+        timer = AtomicityTimer(engine, 100, lambda: fired.append(engine.now))
+        timer.enable()
+        engine.run(until=60)
+        timer.enable()  # already counting: must NOT restart
+        engine.run()
+        assert fired == [100]
+
+    def test_set_preset_does_not_retime_running_countdown(self):
+        engine = Engine()
+        fired = []
+        timer = AtomicityTimer(engine, 100, lambda: fired.append(engine.now))
+        timer.enable()
+        engine.run(until=10)
+        timer.set_preset(1_000)  # takes effect at the *next* enable
+        engine.run()
+        assert fired == [100]
+        timer.enable()
+        engine.run()
+        assert fired == [100, 1_100]
+
+    def test_rearm_from_inside_the_timeout_callback(self):
+        engine = Engine()
+        fired = []
+        timer = AtomicityTimer(engine, 100, lambda: None)
+        timer.on_timeout = lambda: (
+            fired.append(engine.now),
+            timer.enable() if len(fired) < 3 else None,
+        )
+        timer.enable()
+        engine.run()
+        assert fired == [100, 200, 300]
+        assert timer.timeouts == 3
+        assert not timer.enabled
+
+    def test_restart_on_disabled_timer_stays_disabled(self):
+        engine = Engine()
+        timer = AtomicityTimer(engine, 100, lambda: None)
+        timer.restart()  # dispose with no countdown running: no-op
+        engine.run()
+        assert timer.timeouts == 0
+        assert not timer.enabled
+
+    def test_disable_inside_callback_window_then_reenable(self):
+        engine = Engine()
+        fired = []
+        timer = AtomicityTimer(engine, 100, lambda: fired.append(engine.now))
+        timer.enable()
+        engine.run(until=100)  # fires exactly at t=100
+        assert fired == [100]
+        timer.disable()        # already idle: must be a no-op
+        timer.enable()         # full fresh countdown
+        engine.run()
+        assert fired == [100, 200]
+        assert timer.timeouts == 2
+
+    def test_force_timeout_fires_path_without_arming_timer(self):
+        engine, fabric, nis = build_ni()
+        ni = nis[1]
+        hits = []
+        ni.deliver_atomicity_timeout = lambda: hits.append(engine.now)
+        assert not ni.timer.enabled
+        ni.force_timeout()
+        assert hits == [0]
+        assert ni.stats.forced_timeouts == 1
+        assert ni.stats.atomicity_timeouts == 1
+        assert not ni.timer.enabled  # fault hook bypasses the counter
+
+    def test_force_timeout_races_a_live_countdown(self):
+        """A forced expiry must not cancel the hardware countdown: the
+        real expiry still fires later (the kernel's revocation path is
+        idempotent and absorbs the double report)."""
+        engine, fabric, nis = build_ni()
+        ni = nis[1]
+        hits = []
+        ni.deliver_atomicity_timeout = lambda: hits.append(engine.now)
+        ni.timer.enable()
+        engine.run(until=30)
+        ni.force_timeout()
+        assert ni.timer.enabled  # countdown survives the forced fire
+        engine.run()
+        assert len(hits) == 2
+        assert ni.stats.forced_timeouts == 1
