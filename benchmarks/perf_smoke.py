@@ -1,6 +1,7 @@
 """Perf smoke benchmark: seed and track the repo's perf trajectory.
 
-Times three things and writes ``BENCH_runner.json``:
+Times four things and writes ``BENCH_runner.json`` plus
+``BENCH_obs.json``:
 
 * **engine microbenchmark** — raw discrete-event throughput
   (events/second) on a process-churn loop and on a cancellation-heavy
@@ -10,7 +11,12 @@ Times three things and writes ``BENCH_runner.json``:
   ``jobs=N``, verifying the metrics are identical and recording the
   wall-clock ratio;
 * **cache replay** — the same sweep again from the persistent cache,
-  recording hit counts and replay time.
+  recording hit counts and replay time;
+* **observability overhead** — one multiprogrammed run with the
+  :class:`~repro.obs.Observatory` disabled vs enabled (best of N),
+  asserting the metrics stay bit-identical and gating the events/sec
+  regression at 10%, plus an :class:`~repro.obs.EngineProfiler`
+  breakdown of where engine time goes (``BENCH_obs.json``).
 
 Run it from the repo root::
 
@@ -27,9 +33,18 @@ import tempfile
 import time
 from dataclasses import asdict
 
+from repro.analysis.metrics import collect_metrics
+from repro.apps.null_app import NullApplication
+from repro.experiments.config import SimulationConfig
 from repro.experiments.multiprog import multiprog_spec
+from repro.experiments.workloads import make_workload
+from repro.machine.machine import Machine
+from repro.obs import EngineProfiler
 from repro.runner import ResultCache, default_jobs, run_specs
 from repro.sim.engine import Delay, Engine
+
+#: Maximum tolerated events/sec regression with observability enabled.
+OBS_OVERHEAD_LIMIT = 0.10
 
 #: The fixed smoke sweep: 2 workloads x 2 skews x 2 trials, fast scale.
 SMOKE_SPECS = [
@@ -120,6 +135,76 @@ def bench_sweep(jobs: int) -> dict:
     }
 
 
+def _obs_run(obs_interval=None, profile=False):
+    """One multiprogrammed barrier-vs-null run, timed.
+
+    Returns ``(metrics, events_executed, wall_seconds, profiler)``.
+    The workload matches the obs e2e tests: 8 nodes, 10% skew, fast
+    scale — long enough to time, short enough for CI.
+    """
+    config = SimulationConfig(num_nodes=8, seed=1, skew_fraction=0.1,
+                              timeslice=100_000)
+    machine = Machine(config)
+    app = make_workload("barrier", seed=1, num_nodes=8, scale="fast")
+    job = machine.add_job(app)
+    machine.add_job(NullApplication())
+    observatory = None
+    if obs_interval is not None:
+        observatory = machine.enable_observability(obs_interval)
+    profiler = None
+    if profile:
+        profiler = EngineProfiler(machine.engine)
+        profiler.attach()
+    machine.start()
+    start = time.perf_counter()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    wall = time.perf_counter() - start
+    if profiler is not None:
+        profiler.detach()
+    metrics = collect_metrics(machine, job)
+    if observatory is not None:
+        observatory.finalize()
+    return metrics, machine.engine.events_executed, wall, profiler
+
+
+def bench_obs(repeats: int = 3) -> dict:
+    """Observability overhead: disabled vs enabled, best of ``repeats``.
+
+    The enabled run samples the timeline every 100k cycles and keeps
+    every live histogram hook hot. The gate fails (``gate_ok`` False)
+    if enabled throughput regresses more than ``OBS_OVERHEAD_LIMIT``
+    against the disabled baseline from the *same* invocation, or if
+    observation perturbs the run metrics at all.
+    """
+    disabled = [_obs_run() for _ in range(repeats)]
+    enabled = [_obs_run(obs_interval=100_000) for _ in range(repeats)]
+
+    base_metrics = asdict(disabled[0][0])
+    metrics_identical = all(
+        asdict(m) == base_metrics
+        for m, _e, _w, _p in disabled[1:] + enabled
+    )
+
+    def best_eps(runs):
+        return max(events / wall for _m, events, wall, _p in runs)
+
+    disabled_eps = best_eps(disabled)
+    enabled_eps = best_eps(enabled)
+    overhead = 1.0 - enabled_eps / disabled_eps
+
+    _m, events, wall, profiler = _obs_run(profile=True)
+    return {
+        "repeats": repeats,
+        "disabled_events_per_second": disabled_eps,
+        "enabled_events_per_second": enabled_eps,
+        "overhead_fraction": overhead,
+        "overhead_limit": OBS_OVERHEAD_LIMIT,
+        "metrics_identical": metrics_identical,
+        "gate_ok": metrics_identical and overhead <= OBS_OVERHEAD_LIMIT,
+        "profile": profiler.report(wall_seconds=wall),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=None,
@@ -127,6 +212,8 @@ def main(argv=None) -> int:
                              "minimum 4 so the fork path is exercised)")
     parser.add_argument("--out", default="BENCH_runner.json",
                         help="output JSON path")
+    parser.add_argument("--obs-out", default="BENCH_obs.json",
+                        help="observability benchmark output JSON path")
     args = parser.parse_args(argv)
     # Floor of 4: always measure the real fan-out path, even on small
     # boxes (the speedup there simply records the fork overhead).
@@ -144,6 +231,17 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
+    obs = bench_obs()
+    obs_report = {
+        "benchmark": "observability overhead smoke",
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "obs": obs,
+    }
+    with open(args.obs_out, "w", encoding="utf-8") as fh:
+        json.dump(obs_report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
     events = report["engine_events"]["events_per_second"]
     sweep = report["sweep"]
     print(f"engine: {events:,.0f} events/s")
@@ -156,9 +254,18 @@ def main(argv=None) -> int:
     print(f"identical: serial/parallel="
           f"{sweep['serial_parallel_identical']} "
           f"cache={sweep['cache_replay_identical']}")
-    print(f"wrote {args.out}")
+    print(f"obs: disabled {obs['disabled_events_per_second']:,.0f} "
+          f"events/s, enabled {obs['enabled_events_per_second']:,.0f} "
+          f"events/s (overhead {obs['overhead_fraction']:+.1%}, "
+          f"limit {obs['overhead_limit']:.0%}), metrics identical: "
+          f"{obs['metrics_identical']}")
+    top = obs["profile"]["subsystems"][:3]
+    print("profile: " + ", ".join(
+        f"{s['subsystem']} {s['share']:.0%}" for s in top))
+    print(f"wrote {args.out} and {args.obs_out}")
     return 0 if (sweep["serial_parallel_identical"]
-                 and sweep["cache_replay_identical"]) else 1
+                 and sweep["cache_replay_identical"]
+                 and obs["gate_ok"]) else 1
 
 
 if __name__ == "__main__":

@@ -79,6 +79,7 @@ def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
         overflow_suspensions=machine.overflow.stats.suspensions,
         messages_dropped=machine.fabric.stats.messages_dropped,
         messages_duplicated=machine.fabric.stats.messages_duplicated,
+        retries=sum(t.retransmissions for t in machine.transports),
     )
 
 

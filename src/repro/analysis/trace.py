@@ -111,10 +111,23 @@ class MessageTracer:
         self._by_message: Dict[int, MessageTrace] = {}
         self.records = 0
         self.dropped = 0
+        #: Metadata stamps refused because the tracer was full.
+        self.meta_dropped = 0
+        #: Mode transitions refused because the tracer was full.
+        self.mode_dropped = 0
         #: msg_id -> routing metadata (stamped by the fabric at launch).
         self.meta: Dict[int, MessageMeta] = {}
         #: Two-case mode transitions, in simulation order.
         self.mode_records: List[ModeRecord] = []
+
+    @property
+    def saturated(self) -> bool:
+        """True once any record, metadata stamp or mode transition has
+        been dropped at the ``limit``. A saturated trace is *incomplete*:
+        consumers that reason about message conservation or ordering
+        (the :class:`~repro.faults.DeliveryInvariantChecker`) must treat
+        it as truncated rather than derive (spurious) violations."""
+        return (self.dropped + self.meta_dropped + self.mode_dropped) > 0
 
     # -- recording hooks (called from runtime/kernel/fabric) -----------
     def record(self, time: int, event: TraceEvent, msg_id: int,
@@ -132,7 +145,8 @@ class MessageTracer:
 
     def note_message(self, message) -> None:
         """Stamp a message's routing metadata (fabric launch hook)."""
-        if self.limit is not None and self.records >= self.limit:
+        if self.limit is not None and len(self.meta) >= self.limit:
+            self.meta_dropped += 1
             return
         self.meta[message.msg_id] = MessageMeta(
             src=message.src, dst=message.dst, gid=message.gid,
@@ -143,6 +157,7 @@ class MessageTracer:
         """Record a buffered-mode entry/exit (kernel hook)."""
         if self.limit is not None and \
                 len(self.mode_records) >= self.limit:
+            self.mode_dropped += 1
             return
         self.mode_records.append(
             ModeRecord(time, node, gid, entered, reason)
@@ -177,6 +192,10 @@ class MessageTracer:
             "buffered": len(buffered),
             "mean_latency_fast": self.mean_latency(buffered=False),
             "mean_latency_buffered": self.mean_latency(buffered=True),
+            "records_dropped": self.dropped,
+            "meta_dropped": self.meta_dropped,
+            "mode_dropped": self.mode_dropped,
+            "saturated": self.saturated,
         }
 
     def render_timeline(self, msg_id: int) -> str:

@@ -252,6 +252,59 @@ def _cmd_faultdemo(args) -> None:
             print(details)
 
 
+def _cmd_stats(args) -> None:
+    from repro.obs import render_obs_report, write_jsonl
+    from repro.runner import run_specs
+
+    if args.kind == "standalone":
+        from repro.experiments.standalone import standalone_spec
+
+        spec = standalone_spec(args.name, num_nodes=args.nodes,
+                               seed=args.seed, scale=args.scale,
+                               faults=args.faults, obs=True,
+                               obs_interval=args.interval)
+        title = f"standalone {args.name} ({args.scale}, seed {args.seed})"
+    else:
+        from repro.experiments.multiprog import multiprog_spec
+
+        spec = multiprog_spec(args.name, args.skew, seed=args.seed,
+                              num_nodes=args.nodes, scale=args.scale,
+                              timeslice=args.timeslice,
+                              faults=args.faults, obs=True,
+                              obs_interval=args.interval)
+        title = (f"multiprog {args.name} vs null (skew {args.skew:.0%}, "
+                 f"{args.scale}, seed {args.seed})")
+    result = run_specs([spec], **_runner_kwargs(args))[0]
+    result.require()
+    payload = (result.extra or {}).get("obs")
+    if payload is None:
+        print("run produced no observability payload "
+              "(stale cache entry? try --no-cache)")
+        return
+    cached = " [cached]" if result.cached else ""
+    print(render_obs_report(title + cached, payload))
+    if args.export:
+        lines = write_jsonl(args.export, payload, spec=spec.describe())
+        print(f"\nwrote {lines} JSONL lines to {args.export}")
+
+
+def _cmd_cache(args) -> None:
+    from repro.runner import ResultCache
+
+    cache = ResultCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.directory}")
+        return
+    if args.prune:
+        report = cache.prune()
+        print(f"pruned {report.stale} stale entries and {report.tmp} "
+              f"orphaned temp files from {cache.directory} "
+              f"({report.kept} kept)")
+        return
+    print(f"cache {cache.directory}: {len(cache)} entries")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -309,6 +362,37 @@ def build_parser() -> argparse.ArgumentParser:
                          "planned losses)")
     _add_runner_flags(pf)
     pf.set_defaults(fn=_cmd_faultdemo)
+
+    ps = sub.add_parser(
+        "stats",
+        help="per-subsystem observability report for one spec")
+    ps.add_argument("kind", choices=("standalone", "multiprog"),
+                    help="which executor to observe")
+    ps.add_argument("--name", default="barrier",
+                    help="workload name (default: barrier)")
+    ps.add_argument("--skew", type=float, default=0.05,
+                    help="schedule skew (multiprog only)")
+    ps.add_argument("--nodes", type=int, default=8)
+    ps.add_argument("--seed", type=int, default=1)
+    ps.add_argument("--scale", choices=("fast", "bench"), default="fast")
+    ps.add_argument("--timeslice", type=int, default=500_000,
+                    help="gang-scheduler timeslice (multiprog only)")
+    ps.add_argument("--interval", type=int, default=100_000,
+                    help="timeline sample interval, cycles")
+    ps.add_argument("--export", metavar="FILE", default=None,
+                    help="also write the payload as JSONL")
+    _add_faults_flag(ps)
+    _add_runner_flags(ps)
+    ps.set_defaults(fn=_cmd_stats)
+
+    pc = sub.add_parser(
+        "cache", help="inspect or maintain the persistent result cache")
+    pc.add_argument("--prune", action="store_true",
+                    help="remove stale-version entries and orphaned "
+                         "temp files")
+    pc.add_argument("--clear", action="store_true",
+                    help="remove every cached entry")
+    pc.set_defaults(fn=_cmd_cache)
 
     return parser
 

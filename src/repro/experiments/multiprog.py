@@ -36,36 +36,49 @@ DEFAULT_SKEWS = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
 
 def execute_multiprog(name: str, skew: float, seed: int = 1,
                       num_nodes: int = 8, scale: str = "bench",
-                      timeslice: int = 500_000, faults: str = ""):
-    """Runner executor for one multiprogrammed run (kind ``multiprog``)."""
-    metrics = run_multiprogrammed(name, skew, seed=seed,
-                                  num_nodes=num_nodes, scale=scale,
-                                  timeslice=timeslice, faults=faults)
-    return metrics, {}
+                      timeslice: int = 500_000, faults: str = "",
+                      obs: bool = False, obs_interval: int = 100_000):
+    """Runner executor for one multiprogrammed run (kind ``multiprog``).
+
+    With ``obs`` the run carries a :class:`~repro.obs.Observatory`
+    whose cache-safe payload rides back in ``extra["obs"]``;
+    observation never perturbs the metrics.
+    """
+    metrics, observatory = _run(name, skew, seed=seed,
+                                num_nodes=num_nodes, scale=scale,
+                                timeslice=timeslice, faults=faults,
+                                obs_interval=obs_interval if obs else None)
+    extra = {}
+    if observatory is not None:
+        extra["obs"] = observatory.payload()
+    return metrics, extra
 
 
 def multiprog_spec(name: str, skew: float, seed: int = 1,
                    num_nodes: int = 8, scale: str = "bench",
                    timeslice: int = 500_000,
-                   faults: str = "") -> RunSpec:
+                   faults: str = "", obs: bool = False,
+                   obs_interval: int = 100_000) -> RunSpec:
     """The :class:`RunSpec` describing one multiprogrammed run.
 
-    The ``faults`` plan string joins the spec (and thus the cache key)
-    only when non-empty, so fault-free runs keep their historical keys
-    while any faulted variant hashes separately.
+    The ``faults`` plan string (and likewise the ``obs`` flags) joins
+    the spec — and thus the cache key — only when set, so plain runs
+    keep their historical keys while any variant hashes separately.
     """
     params = dict(name=name, skew=skew, seed=seed, num_nodes=num_nodes,
                   scale=scale, timeslice=timeslice)
     if faults:
         params["faults"] = faults
+    if obs:
+        params["obs"] = True
+        params["obs_interval"] = int(obs_interval)
     return RunSpec.make("multiprog", **params)
 
 
-def run_multiprogrammed(name: str, skew: float, seed: int = 1,
-                        num_nodes: int = 8, scale: str = "bench",
-                        timeslice: int = 500_000,
-                        faults: str = "") -> RunMetrics:
-    """One multiprogrammed run: workload vs null at a given skew."""
+def _run(name: str, skew: float, seed: int, num_nodes: int, scale: str,
+         timeslice: int, faults: str,
+         obs_interval: Optional[int] = None):
+    """Build, run and measure one multiprogrammed machine."""
     config = SimulationConfig(num_nodes=num_nodes, seed=seed,
                               skew_fraction=skew, timeslice=timeslice
                               ).with_faults(faults or None)
@@ -73,9 +86,25 @@ def run_multiprogrammed(name: str, skew: float, seed: int = 1,
     app = make_workload(name, seed=seed, num_nodes=num_nodes, scale=scale)
     job = machine.add_job(app)
     machine.add_job(NullApplication())
+    observatory = None
+    if obs_interval is not None:
+        observatory = machine.enable_observability(obs_interval)
     machine.start()
     machine.run_until_job_done(job, limit=50_000_000_000)
-    return collect_metrics(machine, job)
+    metrics = collect_metrics(machine, job)
+    if observatory is not None:
+        observatory.finalize()
+    return metrics, observatory
+
+
+def run_multiprogrammed(name: str, skew: float, seed: int = 1,
+                        num_nodes: int = 8, scale: str = "bench",
+                        timeslice: int = 500_000,
+                        faults: str = "") -> RunMetrics:
+    """One multiprogrammed run: workload vs null at a given skew."""
+    metrics, _obs = _run(name, skew, seed=seed, num_nodes=num_nodes,
+                         scale=scale, timeslice=timeslice, faults=faults)
+    return metrics
 
 
 @dataclass

@@ -42,39 +42,71 @@ class Table6Row:
 
 
 def execute_standalone(name: str, num_nodes: int = 8, seed: int = 1,
-                       scale: str = "bench", faults: str = ""):
-    """Runner executor for one standalone run (kind ``standalone``)."""
-    metrics = run_standalone(name, num_nodes=num_nodes, seed=seed,
-                             scale=scale, faults=faults)
-    return metrics, {}
+                       scale: str = "bench", faults: str = "",
+                       obs: bool = False, obs_interval: int = 100_000):
+    """Runner executor for one standalone run (kind ``standalone``).
+
+    With ``obs`` the run carries a :class:`~repro.obs.Observatory`; its
+    cache-safe payload (per-subsystem metrics, timeline snapshots,
+    events) rides back in ``extra["obs"]``. Observation never perturbs
+    the metrics — the overhead guard test enforces bit-identity.
+    """
+    metrics, observatory = _run(name, num_nodes=num_nodes, seed=seed,
+                                scale=scale, faults=faults,
+                                obs_interval=obs_interval if obs else None)
+    extra = {}
+    if observatory is not None:
+        extra["obs"] = observatory.payload()
+    return metrics, extra
 
 
 def standalone_spec(name: str, num_nodes: int = 8, seed: int = 1,
-                    scale: str = "bench", faults: str = "") -> RunSpec:
+                    scale: str = "bench", faults: str = "",
+                    obs: bool = False,
+                    obs_interval: int = 100_000) -> RunSpec:
     """The :class:`RunSpec` describing one standalone run.
 
-    ``faults`` joins the spec (and thus the cache key) only when
-    non-empty, so fault-free runs keep their historical keys.
+    ``faults`` (and likewise the ``obs`` flags) join the spec — and
+    thus the cache key — only when set, so plain runs keep their
+    historical keys.
     """
     params = dict(name=name, num_nodes=num_nodes, seed=seed, scale=scale)
     if faults:
         params["faults"] = faults
+    if obs:
+        params["obs"] = True
+        params["obs_interval"] = int(obs_interval)
     return RunSpec.make("standalone", **params)
 
 
-def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
-                   scale: str = "bench", faults: str = "",
-                   config: Optional[SimulationConfig] = None) -> RunMetrics:
-    """One standalone run of a workload; returns its metrics."""
+def _run(name: str, num_nodes: int, seed: int, scale: str, faults: str,
+         config: Optional[SimulationConfig] = None,
+         obs_interval: Optional[int] = None):
+    """Build, run and measure one standalone machine."""
     if config is None:
         config = SimulationConfig(num_nodes=num_nodes,
                                   seed=seed).with_faults(faults or None)
     machine = Machine(config)
     app = make_workload(name, seed=seed, num_nodes=num_nodes, scale=scale)
     job = machine.add_job(app)
+    observatory = None
+    if obs_interval is not None:
+        observatory = machine.enable_observability(obs_interval)
     machine.start()
     machine.run_until_job_done(job, limit=20_000_000_000)
-    return collect_metrics(machine, job)
+    metrics = collect_metrics(machine, job)
+    if observatory is not None:
+        observatory.finalize()
+    return metrics, observatory
+
+
+def run_standalone(name: str, num_nodes: int = 8, seed: int = 1,
+                   scale: str = "bench", faults: str = "",
+                   config: Optional[SimulationConfig] = None) -> RunMetrics:
+    """One standalone run of a workload; returns its metrics."""
+    metrics, _obs = _run(name, num_nodes=num_nodes, seed=seed,
+                         scale=scale, faults=faults, config=config)
+    return metrics
 
 
 def table6_rows(num_nodes: int = 8, seed: int = 1,

@@ -38,6 +38,12 @@ Invariants checked (see docs/FAULTS.md for the full statement):
     A job's software buffer grew past the node's physical frame pool,
     or crossed the overflow policy's suspension threshold without the
     overflow controller ever suspending anything.
+``trace-truncated``
+    The tracer saturated its record limit, so the trace is incomplete.
+    Conservation/FIFO/mode checks are *skipped* (findings derived from
+    a truncated trace would be artifacts); buffer-bound and transport
+    checks, which read live machine state and transport ledgers rather
+    than the trace, still run.
 
 The checker is read-only and usable on *any* run — with or without a
 fault plan — which is what makes it an always-on regression net rather
@@ -98,10 +104,25 @@ class DeliveryInvariantChecker:
     def check(self, transports: Iterable["ReliableTransport"] = ()
               ) -> List[Violation]:
         violations: List[Violation] = []
-        resident = self._resident_ids()
-        self._check_conservation(violations, resident)
-        self._check_fifo(violations)
-        self._check_mode_transitions(violations)
+        tracer = self.machine.tracer
+        if tracer.saturated:
+            # The trace is incomplete: conservation/FIFO/mode findings
+            # derived from it would be artifacts of the truncation, not
+            # of the run. Report the truncation itself instead and keep
+            # only the checks that don't read the trace.
+            violations.append(Violation(
+                "trace-truncated",
+                f"tracer saturated at limit={tracer.limit} "
+                f"({tracer.dropped} records, {tracer.meta_dropped} "
+                f"metadata stamps, {tracer.mode_dropped} mode records "
+                "dropped); conservation/FIFO/mode invariants not "
+                "evaluated",
+            ))
+        else:
+            resident = self._resident_ids()
+            self._check_conservation(violations, resident)
+            self._check_fifo(violations)
+            self._check_mode_transitions(violations)
         self._check_buffer_bounds(violations)
         for transport in transports:
             self._check_transport(violations, transport)

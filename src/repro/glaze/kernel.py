@@ -272,6 +272,9 @@ class NodeKernel:
                 break
             # Guaranteed delivery: page out over the second network.
             yield from self._page_out_for_space(state)
+        obs = self.machine.obs
+        if obs is not None:
+            obs.h_insert_pages.observe(pages)
         cost = self.costs.buffered.insert_cost_pages(pages)
         yield Compute(cost)
         self.stats.insert_cycles += cost
@@ -367,6 +370,10 @@ class NodeKernel:
         if tracer is not None:
             tracer.record_mode(self.engine.now, self.node.node_id,
                                state.gid, True, reason.value)
+        obs = self.machine.obs
+        if obs is not None:
+            obs.note_event("mode-enter", node=self.node.node_id,
+                           gid=state.gid, reason=reason.value)
         if state.runtime is not None:
             state.runtime.on_enter_buffered()
         if state is self.scheduled:
@@ -391,6 +398,10 @@ class NodeKernel:
         if tracer is not None:
             tracer.record_mode(self.engine.now, self.node.node_id,
                                state.gid, False, "drained")
+        obs = self.machine.obs
+        if obs is not None:
+            obs.note_event("mode-exit", node=self.node.node_id,
+                           gid=state.gid, reason="drained")
         self.ni.set_kernel_uac(atomicity_extend=False)
         if state.runtime is not None:
             state.runtime.on_exit_buffered()

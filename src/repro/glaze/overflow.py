@@ -61,6 +61,11 @@ class OverflowControl:
         job = state.job
         if pages >= self.policy.advise_pages and not job.needs_gang_advice:
             self.stats.advisories += 1
+            obs = getattr(kernel.machine, "obs", None)
+            if obs is not None:
+                obs.note_event("overflow-advise",
+                               node=kernel.node.node_id,
+                               gid=state.gid, pages=pages)
             kernel.machine.scheduler.advise_gang(job)
         if pages >= self.policy.suspend_pages and not job.suspended:
             self._suspend_globally(kernel, state)
@@ -69,6 +74,10 @@ class OverflowControl:
                             state: "JobNodeState") -> None:
         """Called when an insertion finds the frame pool empty."""
         self.stats.exhaustion_events += 1
+        obs = getattr(kernel.machine, "obs", None)
+        if obs is not None:
+            obs.note_event("overflow-exhausted",
+                           node=kernel.node.node_id, gid=state.gid)
         if not state.job.suspended:
             self._suspend_globally(kernel, state)
 
@@ -76,6 +85,12 @@ class OverflowControl:
                           state: "JobNodeState") -> None:
         self.stats.suspensions += 1
         machine = kernel.machine
+        obs = getattr(machine, "obs", None)
+        if obs is not None:
+            obs.note_event(
+                "overflow-suspend", node=kernel.node.node_id,
+                gid=state.gid, pages=state.buffer.pages_in_use,
+            )
         machine.scheduler.suspend_job(state.job,
                                       self.policy.suspend_duration)
         # Propagate the suspension decision to the other nodes over the

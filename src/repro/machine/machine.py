@@ -85,6 +85,12 @@ class Machine:
         self._started = False
         #: Optional message tracer (see repro.analysis.trace).
         self.tracer = None
+        #: Optional observatory (see repro.obs); same None-check
+        #: contract as the tracer.
+        self.obs = None
+        #: Reliable transports active on this machine, registered at
+        #: first send so collect_metrics/obs can harvest their ledgers.
+        self.transports: List = []
 
     def enable_tracing(self, limit: Optional[int] = 100_000):
         """Record per-message lifecycle events (Figure 2/5 timelines)."""
@@ -93,6 +99,31 @@ class Machine:
         self.tracer = MessageTracer(limit=limit)
         self.fabric.tracer = self.tracer
         return self.tracer
+
+    def enable_observability(self, sample_interval: Optional[int] = None):
+        """Attach a :class:`~repro.obs.Observatory` to this machine.
+
+        Wires the live histogram hooks into the fabric and every NI and
+        (when ``sample_interval`` is given) starts periodic timeline
+        snapshots. Call before :meth:`start`; after the run, call
+        ``obs.finalize()`` to harvest the per-subsystem stats objects.
+        """
+        from repro.obs import Observatory
+
+        obs = Observatory(self, sample_interval=sample_interval)
+        self.obs = obs
+        self.fabric.obs = obs
+        for node in self.nodes:
+            node.ni.obs = obs
+        if self._started:
+            obs.start()
+        return obs
+
+    def register_transport(self, transport) -> None:
+        """Record a reliable transport so end-of-run metric collection
+        can sum its ledgers (retransmissions, acks, give-ups)."""
+        if transport not in self.transports:
+            self.transports.append(transport)
 
     def enable_invariant_checker(self):
         """Attach a :class:`~repro.faults.DeliveryInvariantChecker`.
@@ -178,6 +209,8 @@ class Machine:
             job.start_time = self.engine.now
         if self.fault_injector is not None:
             self.fault_injector.schedule_forced_expiries(self)
+        if self.obs is not None:
+            self.obs.start()
         self.scheduler.start()
 
     def run(self, until: Optional[int] = None,

@@ -96,6 +96,9 @@ class NetworkFabric:
         self._last_arrival: Dict[tuple[int, int], int] = {}
         #: Optional message tracer (set by Machine.enable_tracing).
         self.tracer = None
+        #: Optional observatory (set by Machine.enable_observability);
+        #: same None-check hot-path contract as the tracer.
+        self.obs = None
         #: Optional fault injector (set by Machine for faulted runs).
         #: When present the fabric becomes *unreliable*: messages may be
         #: dropped, duplicated, delayed or reordered per the plan.
@@ -151,6 +154,8 @@ class NetworkFabric:
         self._occupancy[message.dst] += 1
         self.stats.messages_sent += 1
         self.stats.words_carried += message.length_words
+        if self.obs is not None:
+            self.obs.h_message_words.observe(message.length_words)
         if self.tracer is not None:
             from repro.analysis.trace import TraceEvent
 
@@ -275,6 +280,10 @@ class NetworkFabric:
                                message.msg_id, message.dst)
         self.stats.messages_delivered += 1
         self.stats.total_latency += message.deliver_time - message.inject_time
+        if self.obs is not None:
+            self.obs.h_delivery_latency.observe(
+                message.deliver_time - message.inject_time
+            )
         self._release_slot(message.dst)
 
     def _release_slot(self, dst: int) -> None:

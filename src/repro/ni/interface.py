@@ -93,6 +93,9 @@ class NetworkInterface:
         self._mismatch_in_service = False
         self._upcall_in_service = False
 
+        #: Optional observatory (set by Machine.enable_observability);
+        #: same None-check hot-path contract as the tracer.
+        self.obs = None
         #: Optional fault injector (set by the machine). While a stall
         #: is active the interface refuses network deliveries, exactly
         #: the full-input-queue condition the atomicity timer bounds.
@@ -159,6 +162,8 @@ class NetworkInterface:
         self._input.append(message)
         if len(self._input) > self.stats.max_input_queue:
             self.stats.max_input_queue = len(self._input)
+        if self.obs is not None:
+            self.obs.h_input_queue.observe(len(self._input))
         self._update()
         return True
 

@@ -1,0 +1,152 @@
+"""Exporters for observability payloads: JSONL files and CLI text.
+
+``write_jsonl`` streams one payload as line-delimited JSON — a ``meta``
+line, one ``metric`` line per registry entry, one ``snapshot`` line per
+timeline sample and one ``event`` line per recorded event — the format
+downstream tooling (pandas, jq) ingests without a custom parser.
+
+``render_obs_report`` is the ``repro stats`` renderer: per-subsystem
+metric tables plus unicode sparklines over the timeline snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Snapshot series plotted by ``repro stats``, in display order.
+_SERIES = (
+    ("buffer_pages", "buffer pages (all jobs)"),
+    ("queued_messages", "buffered messages"),
+    ("ni_queue", "NI input-queue occupancy"),
+    ("net_blocked", "messages blocked in network"),
+    ("timers_armed", "atomicity timers armed"),
+    ("suspended_jobs", "suspended jobs"),
+)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render ``values`` as a fixed-height unicode sparkline.
+
+    Series longer than ``width`` are downsampled by per-bucket maximum
+    (peaks matter more than means for occupancy series).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            max(values[int(i * bucket):max(int((i + 1) * bucket),
+                                           int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[int((value - lo) * (len(_BLOCKS) - 1) / span)]
+        for value in values
+    )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, dict):  # histogram
+        if not value.get("count"):
+            return "n=0"
+        edges = value["edges"]
+        counts = value["counts"]
+        labels = [f"<={edge}" for edge in edges] + [f">{edges[-1]}"]
+        buckets = " ".join(
+            f"{label}:{count}"
+            for label, count in zip(labels, counts) if count
+        )
+        return f"n={value['count']} total={value['total']}  {buckets}"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_obs_report(title: str, payload: Dict[str, Any]) -> str:
+    """Per-subsystem tables + timeline sparklines for one payload."""
+    metrics: Dict[str, Any] = payload.get("metrics", {})
+    groups: Dict[str, List[List[str]]] = {}
+    for name in sorted(metrics):
+        group, _, rest = name.partition(".")
+        groups.setdefault(group, []).append(
+            [rest or name, _format_value(metrics[name])]
+        )
+    sections = [f"== {title} =="]
+    for group in sorted(groups):
+        sections.append(render_table(f"{group}", ["metric", "value"],
+                                     groups[group]))
+    snapshots: List[Dict[str, Any]] = payload.get("snapshots", [])
+    if snapshots:
+        rows = []
+        for key, label in _SERIES:
+            series = [snap.get(key, 0) for snap in snapshots]
+            rows.append([label, sparkline(series), min(series),
+                         max(series), series[-1]])
+        interval = payload.get("interval")
+        span = (f"{snapshots[0]['t']}..{snapshots[-1]['t']} cy, "
+                f"{len(snapshots)} samples"
+                + (f" every {interval} cy" if interval else ""))
+        sections.append(render_table(
+            f"timeline ({span})",
+            ["series", "timeline", "min", "max", "last"], rows,
+        ))
+        if payload.get("snapshots_truncated"):
+            sections.append("(timeline truncated at the sample limit)")
+    events: List[Dict[str, Any]] = payload.get("events", [])
+    if events:
+        by_kind: Dict[str, int] = {}
+        for event in events:
+            by_kind[event.get("kind", "?")] = \
+                by_kind.get(event.get("kind", "?"), 0) + 1
+        sections.append(render_table(
+            "events", ["kind", "count"],
+            [[kind, by_kind[kind]] for kind in sorted(by_kind)],
+        ))
+        dropped = payload.get("events_dropped", 0)
+        if dropped:
+            sections.append(f"({dropped} events dropped past the limit)")
+    return "\n\n".join(sections)
+
+
+def write_jsonl(path, payload: Dict[str, Any],
+                spec: Optional[str] = None) -> int:
+    """Write one payload as JSONL; returns the number of lines."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        meta = {
+            "type": "meta",
+            "interval": payload.get("interval"),
+            "snapshots": len(payload.get("snapshots", [])),
+            "events_dropped": payload.get("events_dropped", 0),
+        }
+        if spec is not None:
+            meta["spec"] = spec
+        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+        lines += 1
+        for name, value in payload.get("metrics", {}).items():
+            fh.write(json.dumps({"type": "metric", "name": name,
+                                 "value": value}, sort_keys=True) + "\n")
+            lines += 1
+        for snap in payload.get("snapshots", []):
+            fh.write(json.dumps({"type": "snapshot", **snap},
+                                sort_keys=True) + "\n")
+            lines += 1
+        for event in payload.get("events", []):
+            fh.write(json.dumps({"type": "event", **event},
+                                sort_keys=True) + "\n")
+            lines += 1
+    return lines
+
+
+__all__ = ["render_obs_report", "write_jsonl", "sparkline"]

@@ -1,0 +1,191 @@
+"""The typed metric registry: counters, gauges and histograms.
+
+Every metric is declared up front with a dotted name whose first
+component is the owning subsystem (``engine.``, ``fabric.``, ``ni.``,
+``kernel.``, ``buffering.``, ``overflow.``, ``two_case.``,
+``transport.``). Declaration-then-update keeps the registry a closed
+taxonomy: :meth:`MetricRegistry.unwired` lists every metric that was
+declared but never updated, which is how the test suite proves no
+counter silently rots (the way ``RunMetrics.retries`` once did).
+
+Determinism contract: metric values derive only from simulation state
+(counts, simulated cycles), never from wall-clock time, and histograms
+use *fixed bucket edges* declared at construction. A snapshot is a flat
+``name -> value`` dict of JSON scalars (histograms expand to a dict of
+int lists), so it round-trips through ``json`` — and therefore through
+the persistent result cache — bit-identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically meaningful count (ints only)."""
+
+    __slots__ = ("name", "help", "value", "touched")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+        self.touched = False
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+        self.touched = True
+
+    def set_total(self, value: int) -> None:
+        """Overwrite with an authoritative total (end-of-run harvest)."""
+        self.value = int(value)
+        self.touched = True
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (int or float)."""
+
+    __slots__ = ("name", "help", "value", "touched")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+        self.touched = False
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        self.touched = True
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Fixed-edge histogram over integer observations.
+
+    ``edges`` are inclusive upper bounds; an observation lands in the
+    first bucket whose edge is >= the value, or in the overflow bucket
+    past the last edge. Edges are fixed at declaration so two runs of
+    the same spec produce identical bucket vectors.
+    """
+
+    __slots__ = ("name", "help", "edges", "counts", "count", "total",
+                 "touched")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, edges: Sequence[int],
+                 help: str = "") -> None:
+        if not edges:
+            raise ValueError(f"histogram {name} needs at least one edge")
+        ordered = tuple(edges)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name} edges must be strictly increasing: "
+                f"{edges!r}"
+            )
+        self.name = name
+        self.help = help
+        self.edges = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0
+        self.touched = False
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        self.touched = True
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class DuplicateMetric(ValueError):
+    """The same metric name was declared twice."""
+
+
+class MetricRegistry:
+    """A flat, closed namespace of declared metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- declaration ----------------------------------------------------
+    def _register(self, metric: Metric) -> Metric:
+        if metric.name in self._metrics:
+            raise DuplicateMetric(
+                f"metric {metric.name!r} already declared"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))  # type: ignore[return-value]
+
+    def histogram(self, name: str, edges: Sequence[int],
+                  help: str = "") -> Histogram:
+        return self._register(Histogram(name, edges, help))  # type: ignore[return-value]
+
+    # -- queries --------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def metrics(self) -> Iterable[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def unwired(self, kinds: Optional[Tuple[str, ...]] = None) -> List[str]:
+        """Names of metrics declared but never updated.
+
+        ``kinds`` restricts the check (e.g. ``("counter", "gauge")`` —
+        histograms legitimately stay empty on runs without traffic of
+        their kind).
+        """
+        return [
+            metric.name for metric in self.metrics()
+            if not metric.touched
+            and (kinds is None or metric.kind in kinds)
+        ]
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """``name -> value`` in sorted-name order, JSON scalars only."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names()}
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metric", "MetricRegistry",
+           "DuplicateMetric"]

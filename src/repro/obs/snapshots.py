@@ -1,0 +1,98 @@
+"""Periodic on-timeline snapshots of machine state.
+
+The :class:`TimelineSampler` rides the event heap: every
+``interval`` simulated cycles it records a point-in-time view of the
+quantities the paper plots against time — live buffer pages (the
+Section 5.1 "less than seven pages/node" series), software-buffer
+queue depths, NI hardware input-queue occupancy, messages blocked in
+the network, armed atomicity timers and suspended jobs.
+
+Samples are read-only: taking one never mutates simulation state, so a
+run with sampling enabled produces bit-identical
+:class:`~repro.analysis.metrics.RunMetrics` to the same run without it
+(the overhead guard test enforces this). Sampling stops once every job
+has finished (so the event heap can drain) or when ``limit`` samples
+have accumulated (so cached payloads stay bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def take_sample(machine) -> Dict[str, Any]:
+    """One read-only snapshot of ``machine`` at the current time."""
+    buffer_pages = 0
+    queued_messages = 0
+    for job in machine.jobs:
+        for state in job.node_states.values():
+            buffer_pages += state.buffer.pages_in_use
+            queued_messages += len(state.buffer)
+    ni_queue = 0
+    net_blocked = 0
+    timers_armed = 0
+    for node in machine.nodes:
+        ni_queue += node.ni.input_queue_length
+        net_blocked += machine.fabric.blocked_count(node.node_id)
+        if node.ni.timer.enabled:
+            timers_armed += 1
+    return {
+        "t": machine.engine.now,
+        "events": machine.engine.events_executed,
+        "buffer_pages": buffer_pages,
+        "queued_messages": queued_messages,
+        "ni_queue": ni_queue,
+        "net_blocked": net_blocked,
+        "timers_armed": timers_armed,
+        "suspended_jobs": sum(1 for job in machine.jobs if job.suspended),
+    }
+
+
+class TimelineSampler:
+    """Schedules :func:`take_sample` every ``interval`` cycles."""
+
+    def __init__(self, machine, interval: int,
+                 limit: int = 2048) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.machine = machine
+        self.interval = int(interval)
+        self.limit = limit
+        self.samples: List[Dict[str, Any]] = []
+        self.truncated = False
+        self._running = False
+
+    def start(self) -> None:
+        """Take the first sample now and keep sampling on-interval."""
+        if self._running:
+            return
+        self._running = True
+        self.machine.engine.call_at(self.machine.engine.now, self._tick)
+
+    def _tick(self) -> None:
+        if len(self.samples) >= self.limit:
+            self.truncated = True
+            self._running = False
+            return
+        self.samples.append(take_sample(self.machine))
+        jobs = self.machine.jobs
+        if jobs and all(job.finished for job in jobs):
+            # Nothing left to observe; stop so the heap can drain.
+            self._running = False
+            return
+        self.machine.engine.call_after(self.interval, self._tick)
+
+    def final_sample(self) -> Optional[Dict[str, Any]]:
+        """Append an end-of-run sample unless one exists at this time."""
+        now = self.machine.engine.now
+        if self.samples and self.samples[-1]["t"] == now:
+            return None
+        if len(self.samples) >= self.limit:
+            self.truncated = True
+            return None
+        sample = take_sample(self.machine)
+        self.samples.append(sample)
+        return sample
+
+
+__all__ = ["TimelineSampler", "take_sample"]

@@ -130,7 +130,12 @@ class ReliableTransport:
         Delivery (and any retransmission) completes asynchronously;
         the pair's FIFO order is the order of ``send`` calls.
         """
-        self._machine = rt.machine
+        if rt.machine is not self._machine:
+            self._machine = rt.machine
+            # Register once per machine so end-of-run metric collection
+            # (RunMetrics.retries, the obs transport counters) can sum
+            # this transport's ledgers.
+            rt.machine.register_transport(self)
         src = rt.node_index
         pair = (src, dst)
         seq = self._next_seq.get(pair, 0)

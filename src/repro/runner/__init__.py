@@ -8,7 +8,7 @@ disk with :class:`ResultCache`. See ``docs/SIMULATION.md`` ("Parallel
 execution & caching") for the determinism contract and cache layout.
 """
 
-from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.cache import DEFAULT_CACHE_DIR, PruneReport, ResultCache
 from repro.runner.executor import (
     RunnerError, RunResult, default_jobs, require_all, run_spec,
     run_specs,
@@ -17,7 +17,8 @@ from repro.runner.registry import EXECUTORS, UnknownRunKind, execute_spec
 from repro.runner.spec import RunSpec, spec_key
 
 __all__ = [
-    "DEFAULT_CACHE_DIR", "EXECUTORS", "ResultCache", "RunResult",
+    "DEFAULT_CACHE_DIR", "EXECUTORS", "PruneReport", "ResultCache",
+    "RunResult",
     "RunSpec", "RunnerError", "UnknownRunKind", "default_jobs",
     "execute_spec", "require_all", "run_spec", "run_specs", "spec_key",
 ]

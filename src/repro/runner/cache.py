@@ -24,15 +24,28 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.analysis.metrics import RunMetrics
-from repro.runner.spec import RunSpec, spec_key
+from repro.runner.spec import SPEC_FORMAT_VERSION, RunSpec, spec_key
 
 #: Default cache directory name, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass
+class PruneReport:
+    """What :meth:`ResultCache.prune` removed (and kept)."""
+
+    stale: int = 0     # entries from an old format/cost-model version
+    tmp: int = 0       # orphaned *.tmp files from killed writers
+    kept: int = 0      # entries still valid under the current versions
+
+    @property
+    def removed(self) -> int:
+        return self.stale + self.tmp
 
 
 class ResultCache:
@@ -71,8 +84,12 @@ class ResultCache:
     def put(self, spec: RunSpec, metrics: RunMetrics,
             extra: Optional[Dict[str, Any]] = None) -> None:
         """Store one result atomically (write-to-temp then rename)."""
+        from repro.core import costs  # late: current (patchable) version
+
         self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
+            "format": SPEC_FORMAT_VERSION,
+            "cost_model_version": costs.COST_MODEL_VERSION,
             "spec": {"kind": spec.kind, "params": spec.as_dict()},
             "metrics": asdict(metrics),
             "extra": extra or {},
@@ -96,7 +113,8 @@ class ResultCache:
         return sum(1 for p in self.directory.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry (and leftover ``*.tmp`` files);
+        returns the number of entries removed."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
@@ -105,7 +123,56 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+            for path in self.directory.glob("*.tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed
 
+    def prune(self) -> PruneReport:
+        """Remove stale entries and orphaned temp files.
 
-__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+        An entry is stale when its content no longer hashes to its
+        filename under the *current* ``SPEC_FORMAT_VERSION`` and
+        ``COST_MODEL_VERSION`` — i.e. nothing will ever look it up
+        again — or when it is unreadable. ``*.tmp`` files are leftovers
+        from writers killed between ``mkstemp`` and the atomic rename;
+        they are always garbage.
+        """
+        report = PruneReport()
+        if not self.directory.is_dir():
+            return report
+        for path in self.directory.glob("*.tmp"):
+            try:
+                path.unlink()
+                report.tmp += 1
+            except OSError:
+                pass
+        for path in self.directory.glob("*.json"):
+            if self._is_stale(path):
+                try:
+                    path.unlink()
+                    report.stale += 1
+                except OSError:
+                    pass
+            else:
+                report.kept += 1
+        return report
+
+    @staticmethod
+    def _is_stale(path: Path) -> bool:
+        """True when no current-version lookup can ever hit ``path``."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            spec = RunSpec.make(payload["spec"]["kind"],
+                                **payload["spec"]["params"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return True
+        # spec_key embeds the format and cost-model versions, so one
+        # recomputation covers both version fields and plain corruption.
+        return spec_key(spec) != path.stem
+
+
+__all__ = ["ResultCache", "PruneReport", "DEFAULT_CACHE_DIR"]

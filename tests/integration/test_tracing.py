@@ -89,3 +89,94 @@ class TestTracerLimits:
             tracer.record(i, TraceEvent.INJECT, i, 0)
         assert tracer.records == 3
         assert tracer.dropped == 2
+
+    def test_saturation_is_exposed_not_silent(self):
+        """Regression: a full tracer used to drop metadata stamps and
+        mode records without any way to tell the trace was incomplete,
+        so the invariant checker derived spurious violations from it."""
+        from repro.analysis.trace import MessageTracer
+
+        class _Msg:
+            def __init__(self, msg_id):
+                self.msg_id = msg_id
+                self.src, self.dst, self.gid = 0, 1, 7
+
+        tracer = MessageTracer(limit=2)
+        assert not tracer.saturated
+        for i in range(4):
+            tracer.note_message(_Msg(i))
+        for i in range(4):
+            tracer.record_mode(i, node=0, gid=7, entered=True,
+                               reason="quantum-start")
+        assert tracer.meta_dropped == 2
+        assert tracer.mode_dropped == 2
+        assert len(tracer.meta) == 2
+        assert tracer.saturated
+        summary = tracer.summary()
+        assert summary["saturated"] is True
+        assert summary["meta_dropped"] == 2
+        assert summary["mode_dropped"] == 2
+        assert summary["records_dropped"] == 0
+
+    def test_unbounded_tracer_never_saturates(self):
+        from repro.analysis.trace import MessageTracer
+
+        tracer = MessageTracer(limit=None)
+        for i in range(10):
+            tracer.record(i, TraceEvent.INJECT, i, 0)
+        assert not tracer.saturated
+        assert tracer.summary()["saturated"] is False
+
+
+class TestCheckerOnSaturatedTrace:
+    def test_truncated_trace_reports_itself_not_false_losses(self):
+        """Regression: the checker on a saturated trace used to report
+        untraced messages as conservation violations. It must instead
+        flag the truncation and skip the trace-derived invariants."""
+        from repro.faults.checker import DeliveryInvariantChecker
+
+        machine = make_machine(num_nodes=2)
+        machine.enable_tracing(limit=5)  # far below the run's traffic
+        app = ScriptedApplication(_chatter_script)
+        job = machine.add_job(app)
+        checker = DeliveryInvariantChecker(machine)
+        machine.start()
+        machine.run_until_job_done(job, limit=20_000_000)
+
+        assert machine.tracer.saturated
+        violations = checker.check()
+        codes = [v.code for v in violations]
+        assert codes == ["trace-truncated"]
+        assert "limit=5" in violations[0].detail
+
+    def test_unbounded_checker_run_stays_clean(self):
+        """Control: same workload, unbounded trace, no violations."""
+        machine = make_machine(num_nodes=2)
+        checker = machine.enable_invariant_checker()
+        app = ScriptedApplication(_chatter_script)
+        job = machine.add_job(app)
+        machine.start()
+        machine.run_until_job_done(job, limit=20_000_000)
+        assert not machine.tracer.saturated
+        assert checker.check() == []
+
+
+def _chatter_script(app, rt, idx):
+    """Enough traffic to blow a tiny tracer limit quickly."""
+    done = getattr(app, "_done", None)
+    if done is None:
+        done = app._done = []
+
+    def handler(rt, msg):
+        yield from rt.dispose_current()
+        done.append(msg.msg_id)
+
+    if idx == 0:
+        for i in range(10):
+            yield Compute(100)
+            yield from rt.inject(1, handler, (i,))
+        while len(done) < 10:
+            yield Compute(500)
+    else:
+        while len(done) < 10:
+            yield Compute(500)

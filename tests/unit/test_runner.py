@@ -106,6 +106,60 @@ class TestResultCache:
         assert len(cache) == 0
 
 
+class TestCachePrune:
+    def test_prune_removes_stale_version_entries(self, tmp_path,
+                                                 monkeypatch):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            cache.put(RunSpec.make("multiprog", seed=seed), _metrics())
+
+        from repro.core import costs
+        monkeypatch.setattr(costs, "COST_MODEL_VERSION",
+                            costs.COST_MODEL_VERSION + 1)
+        # Under the bumped version one fresh entry joins the directory.
+        fresh = RunSpec.make("multiprog", seed=99)
+        cache.put(fresh, _metrics())
+
+        report = cache.prune()
+        assert report.stale == 3
+        assert report.kept == 1
+        assert report.removed == 3
+        assert len(cache) == 1
+        assert cache.get(fresh) is not None  # survivor still hits
+
+    def test_prune_removes_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec.make("multiprog", seed=1), _metrics())
+        # Simulate writers killed between mkstemp and the rename.
+        (tmp_path / "deadbeef.tmp").write_text("{", encoding="utf-8")
+        (tmp_path / "cafe.tmp").write_text("", encoding="utf-8")
+        report = cache.prune()
+        assert report.tmp == 2
+        assert report.stale == 0 and report.kept == 1
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_prune_removes_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("multiprog", seed=1)
+        cache.put(spec, _metrics())
+        cache._path(spec).write_text("{not json", encoding="utf-8")
+        report = cache.prune()
+        assert report.stale == 1 and report.kept == 0
+        assert len(cache) == 0
+
+    def test_prune_on_missing_directory_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "never_created")
+        report = cache.prune()
+        assert report.removed == 0 and report.kept == 0
+
+    def test_clear_also_removes_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec.make("multiprog", seed=1), _metrics())
+        (tmp_path / "orphan.tmp").write_text("", encoding="utf-8")
+        assert cache.clear() == 1  # counts json entries only
+        assert not list(tmp_path.glob("*"))
+
+
 class TestErrorCapture:
     def test_failed_run_captured_not_raised(self):
         bad = RunSpec.make("standalone", name="no_such_workload",
