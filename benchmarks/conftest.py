@@ -1,15 +1,20 @@
 """Shared state for the benchmark harness.
 
-Figures 7 and 8 are two views of the *same* runs (buffered fraction and
-relative runtime of the multiprogrammed skew sweep), so the sweep
-executes once per session and both benchmarks render from the cache.
+The benchmarks and ``repro report`` measure the same artifacts through
+the same registry (:mod:`repro.validate.artifacts`): each ``test_*``
+file produces its artifact via the shared session
+:class:`~repro.validate.ReportContext` and asserts every quantity
+against the committed ``goldens/paper.json`` instead of ad-hoc
+constants — so drift trips the suite and ``repro report --check``
+identically.
 
-The sweep routes through :mod:`repro.runner`: runs fan out over worker
-processes (``REPRO_BENCH_JOBS`` overrides the worker count) and land in
-the persistent on-disk result cache (``.repro_cache/``, override with
-``REPRO_CACHE_DIR``), so a repeated benchmark invocation replays
-memoized metrics instead of re-simulating. Set ``REPRO_BENCH_NO_CACHE=1``
-to force fresh runs.
+Figures 7 and 8 are two views of the *same* runs; the context memoizes
+the sweep so both benchmarks render from one execution. Runs fan out
+over worker processes (``REPRO_BENCH_JOBS`` overrides the worker
+count) and land in the persistent on-disk result cache
+(``.repro_cache/``, override with ``REPRO_CACHE_DIR``), so a repeated
+benchmark invocation replays memoized metrics instead of
+re-simulating. Set ``REPRO_BENCH_NO_CACHE=1`` to force fresh runs.
 """
 
 from __future__ import annotations
@@ -18,14 +23,17 @@ import os
 
 import pytest
 
-from repro.experiments.multiprog import full_sweep
 from repro.runner import ResultCache
+from repro.validate import (
+    ARTIFACTS, ReportContext, compare_artifact, default_goldens_path,
+    golden_artifact, golden_values, load_goldens,
+)
 
-#: Skews used by the Figure 7/8 benchmarks.
+#: Skews used by the Figure 7/8 benchmarks (= the registry's sweep).
 BENCH_SKEWS = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
 BENCH_TRIALS = 3
 
-_session_sweep = {}
+_session = {}
 
 
 def _bench_jobs():
@@ -40,20 +48,37 @@ def bench_cache():
     return ResultCache()
 
 
-def get_full_sweep():
-    """Run (once per session) the Figures 7/8 skew sweep.
+def bench_context() -> ReportContext:
+    """The session's shared artifact-producing context."""
+    if "ctx" not in _session:
+        _session["ctx"] = ReportContext(jobs=_bench_jobs(),
+                                        cache=bench_cache())
+    return _session["ctx"]
 
-    Per-run results persist in the runner's on-disk cache; the
-    in-process dict only keeps this session's already-built sweep
-    object so the two figure benchmarks share one call.
-    """
-    key = (BENCH_SKEWS, BENCH_TRIALS)
-    if key not in _session_sweep:
-        _session_sweep[key] = full_sweep(
-            skews=BENCH_SKEWS, trials=BENCH_TRIALS,
-            jobs=_bench_jobs(), cache=bench_cache(),
-        )
-    return _session_sweep[key]
+
+def produce(artifact_id: str):
+    """Regenerate one artifact through the session context."""
+    return bench_context().produce(artifact_id)
+
+
+def get_full_sweep():
+    """The Figures 7/8 skew sweep (runs once per session)."""
+    return bench_context().full_sweep()
+
+
+def assert_matches_goldens(run) -> None:
+    """Assert every quantity of ``run`` sits within its golden band."""
+    path = default_goldens_path()
+    spec = ARTIFACTS[run.artifact]
+    payload = load_goldens(path)
+    entry = golden_artifact(payload, spec, path)
+    results = compare_artifact(spec, golden_values(entry), run)
+    drifted = [r.describe() for r in results if not r.ok]
+    assert not drifted, (
+        f"{run.artifact}: {len(drifted)} quantities drifted out of "
+        "tolerance (if intentional, re-stamp with `python -m repro "
+        "report --update-goldens`):\n" + "\n".join(drifted)
+    )
 
 
 @pytest.fixture(scope="session")

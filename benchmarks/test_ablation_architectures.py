@@ -5,41 +5,21 @@ Quantifies the Section 2 argument: memory-based interfaces are easy to
 protect but put memory on every message's critical path and pin
 physical pages per process; the paper's two-case interface gets direct
 latency in the common case with (demand-paged) buffering only as a
-fallback.
+fallback. The comparison is one study of the ``ablations`` artifact in
+the shared registry, asserted against the committed goldens.
 """
 
 from repro.analysis.report import render_table
-from repro.experiments.ablations import architecture_comparison
+from repro.validate.render import artifact_tables
+
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_ablation_architectures(benchmark):
-    points = benchmark.pedantic(architecture_comparison, rounds=1,
-                                iterations=1)
+    run = benchmark.pedantic(lambda: produce("ablations"),
+                             rounds=1, iterations=1)
     print()
-    print(render_table(
-        "Figure 1 architectures on the barrier workload (8 nodes)",
-        ["architecture", "runtime", "mean msg latency",
-         "resident buffer pages", "buffered %"],
-        [[p.label, p.metrics.elapsed_cycles,
-          f"{p.extra['mean_message_latency']:.0f}",
-          int(p.extra["resident_buffer_pages"]),
-          f"{p.metrics.buffered_fraction:.0%}"] for p in points],
-    ))
-    by_label = {p.label: p for p in points}
-    two_case = by_label["two-case"]
-    memory = by_label["memory-based"]
-    buffered = by_label["always-buffered"]
-
-    # Direct delivery wins end to end. (Per-message latency lands in
-    # the same range — a polled memory queue reads fast once the drain
-    # thread runs — but the hardware-demux + memory round trip on every
-    # message costs the workload real time.)
-    assert two_case.metrics.elapsed_cycles < memory.metrics.elapsed_cycles
-    assert (two_case.extra["mean_message_latency"]
-            < 1.5 * memory.extra["mean_message_latency"])
-    # The memory-based interface beats pure software buffering (its
-    # hardware demux skips the 180-cycle kernel insert)...
-    assert memory.metrics.elapsed_cycles < buffered.metrics.elapsed_cycles
-    # ...but pins memory the two-case machine never commits.
-    assert two_case.extra["resident_buffer_pages"] == 0
-    assert memory.extra["resident_buffer_pages"] > 0
+    for title, headers, rows in artifact_tables("ablations", run.doc):
+        if "architectures" in title:
+            print(render_table(title, headers, rows))
+    assert_matches_goldens(run)

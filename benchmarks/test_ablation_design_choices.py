@@ -3,94 +3,27 @@
 Not figures from the paper — these quantify the *arguments* the paper
 makes when rejecting the alternatives: permanent software buffering
 (Section 2's memory-based/SUNMOS comparison), the timeout preset being
-a free parameter (Section 4.1), and the minimal hardware input queue
-(Section 2's "hardware requirements are kept minimal").
+a free parameter (Section 4.1), the minimal hardware input queue
+(Section 2's "hardware requirements are kept minimal") and bulk DMA
+transfer. All five studies live in the ``ablations`` artifact of the
+shared registry; this file prints the non-architecture studies and
+asserts the whole artifact against the committed goldens (the
+architecture study is printed by ``test_ablation_architectures.py``).
 """
 
 from repro.analysis.report import render_table
-from repro.experiments.ablations import (
-    bulk_transfer_ablation, queue_depth_ablation, timeout_ablation,
-    two_case_ablation,
-)
+from repro.validate.render import artifact_tables
+
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
-def test_ablation_two_case_vs_always_buffered(benchmark):
-    points = benchmark.pedantic(two_case_ablation, rounds=1, iterations=1)
+def test_ablation_design_choices(benchmark):
+    run = benchmark.pedantic(lambda: produce("ablations"),
+                             rounds=1, iterations=1)
     print()
-    print(render_table(
-        "Ablation: two-case delivery vs always-buffered (barrier, 8 nodes)",
-        ["config", "runtime", "buffered msgs", "fast msgs",
-         "kernel insert cycles"],
-        [[p.label, p.metrics.elapsed_cycles,
-          p.metrics.buffered_messages, p.metrics.fast_messages,
-          int(p.extra["kernel_insert_cycles"])] for p in points],
-    ))
-    two_case, buffered = points
-    # The fast case is the common case: two-case delivery keeps nearly
-    # everything off the buffer, and the always-buffered baseline pays
-    # for it in runtime.
-    assert two_case.metrics.buffered_fraction < 0.01
-    assert buffered.metrics.buffered_fraction > 0.99
-    slowdown = (buffered.metrics.elapsed_cycles
-                / two_case.metrics.elapsed_cycles)
-    assert slowdown > 1.15, slowdown
-    print(f"\nalways-buffered slowdown: {slowdown:.2f}x")
-
-
-def test_ablation_atomicity_timeout(benchmark):
-    points = benchmark.pedantic(timeout_ablation, rounds=1, iterations=1)
-    print()
-    print(render_table(
-        "Ablation: atomicity-timeout preset (barnes vs null, 5% skew)",
-        ["config", "runtime", "buffered %", "revocations"],
-        [[p.label, p.metrics.elapsed_cycles,
-          f"{p.metrics.buffered_fraction:.2%}",
-          p.metrics.revocations] for p in points],
-    ))
-    # Correctness at every preset (all runs completed to get here), and
-    # a monotone mechanism response: tighter timeouts revoke more.
-    revocations = [p.metrics.revocations for p in points]
-    assert revocations[0] >= revocations[-1]
-    # A generous timeout effectively disables revocation.
-    assert revocations[-1] <= 1
-
-
-def test_ablation_bulk_vs_fragmented(benchmark):
-    points = benchmark.pedantic(bulk_transfer_ablation, rounds=1,
-                                iterations=1)
-    print()
-    print(render_table(
-        "Ablation: fragmented vs bulk-DMA data transfer "
-        "(1500-word region, 8 readers, 6 rounds)",
-        ["config", "runtime", "messages", "data fragments",
-         "bulk transfers"],
-        [[p.label, p.metrics.elapsed_cycles, p.metrics.messages_sent,
-          int(p.extra["data_fragments"]),
-          int(p.extra["bulk_transfers"])] for p in points],
-    ))
-    fragments, bulk = points
-    # Bulk transfers collapse the fragment storm into one message per
-    # grant and finish the workload faster.
-    assert bulk.metrics.messages_sent < fragments.metrics.messages_sent / 3
-    assert bulk.metrics.elapsed_cycles < fragments.metrics.elapsed_cycles
-    assert fragments.extra["bulk_transfers"] == 0
-    assert bulk.extra["data_fragments"] == 0
-
-
-def test_ablation_input_queue_depth(benchmark):
-    points = benchmark.pedantic(queue_depth_ablation, rounds=1,
-                                iterations=1)
-    print()
-    print(render_table(
-        "Ablation: NI input-queue depth (synth-100, T_betw=50)",
-        ["config", "runtime", "max network backlog", "sender blocks"],
-        [[p.label, p.metrics.elapsed_cycles,
-          int(p.extra["max_network_backlog"]),
-          int(p.extra["sender_blocks"])] for p in points],
-    ))
-    # A deeper hardware queue keeps bursts out of the network fabric.
-    backlogs = [p.extra["max_network_backlog"] for p in points]
-    assert backlogs[0] >= backlogs[-1]
-    # And every configuration still delivers everything (runs finished).
-    for p in points:
-        assert p.metrics.messages_sent > 0
+    for title, headers, rows in artifact_tables("ablations", run.doc):
+        if "architectures" in title:
+            continue
+        print(render_table(title, headers, rows))
+        print()
+    assert_matches_goldens(run)

@@ -1,45 +1,21 @@
 """Figure 10: % messages buffered vs the cost of the buffered path.
 
 T_betw held at 275 cycles; the buffered path's insert handler is
-artificially slowed (the Figure 10 sweep), with the paper's 232-cycle
-path as the baseline.
-
-Paper shapes asserted:
-* synth-10 stays small throughout — its synchronization balances send
-  and receive rates regardless of the buffered path's cost;
-* for synth-100/1000, buffering feeds back on itself once the buffered
-  path's cost exceeds the send interval: the buffered fraction rises
-  steeply past the ~275-cycle crossover.
+artificially slowed, with the paper's 232-cycle path as the baseline.
+The paper's shapes — synth-10 insensitive throughout, synth-100/1000
+feeding back on themselves past the ~275-cycle crossover — are
+predicate quantities in the artifact registry, asserted against the
+committed goldens.
 """
 
-from repro.analysis.report import render_series
-from repro.experiments.synth_sweeps import (
-    DEFAULT_BUFFER_COSTS, buffer_cost_sweep,
-)
+from repro.validate.render import render_artifact_text
+
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_fig10_buffer_cost(benchmark):
-    result = benchmark.pedantic(
-        lambda: buffer_cost_sweep(trials=3, messages_per_node=2000),
-        rounds=1, iterations=1,
-    )
+    run = benchmark.pedantic(lambda: produce("fig10"),
+                             rounds=1, iterations=1)
     print()
-    print(render_series(
-        "Figure 10: % messages buffered vs buffered-path cost "
-        "(synth-N, T_betw=275, 1% skew)",
-        "cost", result.xs, result.series_pairs(), y_format="{:.2f}",
-    ))
-
-    baseline_index = 0
-    costly_index = len(result.xs) - 1
-
-    # synth-10 is insensitive: its sync bounds outstanding messages.
-    assert max(result.series[10]) < 3.0
-
-    # The weakly-synchronized variants blow up past the crossover.
-    for group in (100, 1000):
-        series = result.series[group]
-        assert series[costly_index] > 3 * max(series[baseline_index], 0.3), \
-            group
-        # Cheap buffered path keeps buffering modest.
-        assert series[baseline_index] < 5.0, group
+    print(render_artifact_text("fig10", run.doc))
+    assert_matches_goldens(run)

@@ -3,54 +3,20 @@ decreasing schedule quality, plus the in-text physical-pages result.
 
 Each application is multiprogrammed against the null application; skew
 is the worst pairwise clock offset as a fraction of the 500k-cycle
-timeslice; values average three trials.
-
-Paper shapes asserted:
-* synchronizing applications (barrier, and the CRL codes) show a small,
-  roughly flat buffered fraction;
-* enum (many unacknowledged messages, rare sync) grows ~linearly with
-  skew;
-* the maximum physical buffer pages per node stays below seven.
+timeslice; values average three trials. The paper's shapes — enum's
+~linear growth, barrier's small bounded fraction, quiet zero-skew
+runs, the "<7 pages/node" bound — are predicate quantities in the
+artifact registry, asserted against the committed goldens.
 """
 
-from repro.analysis.report import render_series, render_table
+from repro.validate.render import render_artifact_text
 
-from benchmarks.conftest import BENCH_SKEWS, get_full_sweep
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_fig7_buffered_fraction(benchmark):
-    results = benchmark.pedantic(get_full_sweep, rounds=1, iterations=1)
-    skews = list(BENCH_SKEWS)
+    run = benchmark.pedantic(lambda: produce("fig7"),
+                             rounds=1, iterations=1)
     print()
-    print(render_series(
-        "Figure 7: % messages buffered vs schedule skew",
-        "skew",
-        [f"{s:.0%}" for s in skews],
-        [(name, results[name].buffered_percent) for name in results],
-        y_format="{:.2f}",
-    ))
-    print()
-    print(render_table(
-        "Physical buffer pages (max over nodes and trials)",
-        ["app"] + [f"{s:.0%}" for s in skews],
-        [[name] + results[name].max_pages for name in results],
-    ))
-
-    enum_pct = results["enum"].buffered_percent
-    barrier_pct = results["barrier"].buffered_percent
-
-    # enum grows with skew (approximately linearly: the worst skew
-    # buffers several times the mild ones, and is monotone overall).
-    assert enum_pct[-1] > enum_pct[1] > enum_pct[0]
-    assert enum_pct[-1] >= 3 * enum_pct[1]
-
-    # barrier stays small and roughly flat (bounded outstanding msgs).
-    assert max(barrier_pct) < 2.0
-
-    # at zero skew nothing (or almost nothing) buffers, for every app.
-    for name, sweep in results.items():
-        assert sweep.buffered_percent[0] < 0.5, name
-
-    # Section 5.1's memory result: "less than seven pages/node".
-    for name, sweep in results.items():
-        assert max(sweep.max_pages) < 7, name
+    print(render_artifact_text("fig7", run.doc))
+    assert_matches_goldens(run)

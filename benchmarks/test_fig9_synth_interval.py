@@ -1,46 +1,21 @@
 """Figure 9: % messages buffered vs send interval for synth-N.
 
 synth-N on four processors at 1% scheduler skew, T_hand = 290 cycles;
-the x axis sweeps the mean send interval T_betw.
-
-Paper shapes asserted:
-* when T_betw exceeds T_hand plus the buffering overhead, every variant
-  buffers only a small percentage (the consumer's buffer always drains);
-* more frequent synchronization (smaller N) buffers less under
-  pressure: synchronizing "manually" clears the software buffer.
+the x axis sweeps the mean send interval T_betw. The paper's shapes —
+slow senders barely buffer (the consumer's buffer always drains), and
+under pressure more frequent synchronization buffers less — are
+predicate quantities in the artifact registry, asserted against the
+committed goldens.
 """
 
-from repro.analysis.report import render_series
-from repro.experiments.synth_sweeps import (
-    DEFAULT_INTERVALS, GROUP_SIZES, interval_sweep,
-)
+from repro.validate.render import render_artifact_text
+
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_fig9_synth_interval(benchmark):
-    result = benchmark.pedantic(
-        lambda: interval_sweep(trials=3, messages_per_node=2000),
-        rounds=1, iterations=1,
-    )
+    run = benchmark.pedantic(lambda: produce("fig9"),
+                             rounds=1, iterations=1)
     print()
-    print(render_series(
-        "Figure 9: % messages buffered vs send interval "
-        "(synth-N, 1% skew, T_hand=290)",
-        "T_betw", result.xs, result.series_pairs(), y_format="{:.2f}",
-    ))
-
-    slow_index = result.xs.index(1000)
-    fast_index = result.xs.index(50)
-    for group in GROUP_SIZES:
-        series = result.series[group]
-        # Well-behaved region: slow senders barely buffer.
-        assert series[slow_index] < 3.0, group
-
-    # Under pressure, sync frequency orders the curves: N=10 buffers
-    # the least, N=1000 the most.
-    assert result.series[10][fast_index] <= \
-        result.series[100][fast_index] + 0.5
-    assert result.series[100][fast_index] <= \
-        result.series[1000][fast_index] + 0.5
-    # And pressure matters: the tightest interval buffers more than the
-    # loosest for the unsynchronized variant.
-    assert result.series[1000][fast_index] > result.series[1000][slow_index]
+    print(render_artifact_text("fig9", run.doc))
+    assert_matches_goldens(run)

@@ -1,53 +1,21 @@
 """Table 4: cycle counts to send and receive a null message.
 
 Regenerates the paper's fast-path cost table for the three protection
-regimes (kernel, hard atomicity, soft atomicity) by measuring the
-simulated mechanism end to end — ping-pong legs and upcall durations —
-and prints the per-category breakdown next to the measured totals.
-
-Paper totals: send 7; receive-by-interrupt 54 / 87 / 115; polling 9.
+regimes (kernel, hard atomicity, soft atomicity) through the shared
+artifact registry and asserts every quantity — the exact 54/87/115
+receive totals, the 7-cycle send, the 9-cycle poll, the ~1.6x
+protection ratio and the analytic ping-pong legs — against the
+committed goldens.
 """
 
-from repro.analysis.report import render_table
-from repro.core.costs import AtomicityMode
-from repro.experiments.micro import table4_results
+from repro.validate.render import render_artifact_text
 
-
-def _build_report(results):
-    rows = []
-    for r in results:
-        fast = r.model.fast
-        rows.append([
-            r.mode.value,
-            fast.send_total,
-            fast.receive_entry,
-            fast.receive_interrupt_total,
-            f"{r.measured_receive_interrupt:.0f}",
-            fast.receive_polling_total,
-            f"{r.measured_leg_interrupt:.0f}",
-            f"{r.expected_leg_interrupt:.0f}",
-        ])
-    return render_table(
-        "Table 4: null-message fast-path costs (cycles)",
-        ["mode", "send", "recv subtotal", "recv total (paper)",
-         "recv total (measured)", "poll total", "leg (measured)",
-         "leg (analytic)"],
-        rows,
-    )
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_table4_fast_path(benchmark):
-    results = benchmark.pedantic(
-        lambda: table4_results(rounds=300), rounds=1, iterations=1
-    )
+    run = benchmark.pedantic(lambda: produce("table4"),
+                             rounds=1, iterations=1)
     print()
-    print(_build_report(results))
-    by_mode = {r.mode: r for r in results}
-    # The measured mechanism must land exactly on the paper's totals.
-    assert by_mode[AtomicityMode.KERNEL].measured_receive_interrupt == 54
-    assert by_mode[AtomicityMode.HARD].measured_receive_interrupt == 87
-    assert by_mode[AtomicityMode.SOFT].measured_receive_interrupt == 115
-    # Headline claim: protection costs ~60% over kernel-level.
-    ratio = (by_mode[AtomicityMode.HARD].measured_receive_interrupt
-             / by_mode[AtomicityMode.KERNEL].measured_receive_interrupt)
-    assert 1.5 < ratio < 1.7
+    print(render_artifact_text("table4", run.doc))
+    assert_matches_goldens(run)

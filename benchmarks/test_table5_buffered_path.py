@@ -1,39 +1,19 @@
 """Table 5: buffered-path (software buffer) costs.
 
-Streams messages at a receiver forced into buffered mode and measures
-the kernel buffer-insert handler and the drain-thread extraction cost.
-
-Paper: insert 180 min / 3,162 with vmalloc; extract 52; 232 cycles per
-buffered null message, ~2.7x the 87-cycle fast path.
+Streams messages at a receiver forced into buffered mode and asserts
+the measured insert/extract/per-message cycle counts (paper: 180 /
+3,162 / 52 / 232, ~2.7x the fast path) against the committed goldens
+through the shared artifact registry.
 """
 
-from repro.analysis.report import render_table
-from repro.experiments.micro import measure_buffered_path
+from repro.validate.render import render_artifact_text
+
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_table5_buffered_path(benchmark):
-    result = benchmark.pedantic(
-        lambda: measure_buffered_path(count=400), rounds=1, iterations=1
-    )
+    run = benchmark.pedantic(lambda: produce("table5"),
+                             rounds=1, iterations=1)
     print()
-    print(render_table(
-        "Table 5: software-buffer overheads (cycles)",
-        ["item", "paper", "measured"],
-        [
-            ["Minimum buffer-insert handler", 180,
-             f"{result.measured_insert_min:.0f}"],
-            ["Maximum handler (w/vmalloc)", 3162,
-             f"{result.measured_insert_vmalloc:.0f}"],
-            ["Execute null handler from buffer", 52,
-             f"{result.measured_extract:.0f}"],
-            ["Total per buffered message", 232,
-             f"{result.measured_per_message:.0f}"],
-        ],
-    ))
-    assert result.measured_insert_min == 180
-    assert result.measured_extract == 52
-    assert result.measured_per_message == 232
-    assert result.messages == 400
-    # The vmalloc case occurred (first page) and costs 3,162.
-    assert result.vmalloc_count >= 1
-    assert result.measured_insert_vmalloc == 3162
+    print(render_artifact_text("table5", run.doc))
+    assert_matches_goldens(run)

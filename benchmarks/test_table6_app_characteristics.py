@@ -1,43 +1,19 @@
 """Table 6: application characteristics standalone on eight nodes.
 
 Runs the five workloads (scaled data sets — see EXPERIMENTS.md) and
-prints cycles, messages, T_betw and T_hand next to the paper's values.
-Absolute cycle/message counts differ (scaled data sets on a behavioural
-simulator); the *shape* assertions check what the paper's analysis
-depends on: the communication-intensity ordering across applications.
+asserts cycles, messages, T_betw/T_hand and the paper's
+communication-intensity ordering against the committed goldens through
+the shared artifact registry.
 """
 
-from repro.analysis.report import render_table
-from repro.experiments.standalone import table6_rows
+from repro.validate.render import render_artifact_text
+
+from benchmarks.conftest import assert_matches_goldens, produce
 
 
 def test_table6_app_characteristics(benchmark):
-    rows = benchmark.pedantic(table6_rows, rounds=1, iterations=1)
+    run = benchmark.pedantic(lambda: produce("table6"),
+                             rounds=1, iterations=1)
     print()
-    print(render_table(
-        "Table 6: standalone application characteristics (8 nodes)",
-        ["app", "model", "cycles", "msgs", "T_betw", "T_betw(paper)",
-         "T_hand", "T_hand(paper)"],
-        [
-            [r.name, r.model, r.metrics.elapsed_cycles,
-             r.metrics.messages_sent, f"{r.metrics.t_betw:.0f}",
-             f"{r.paper['t_betw']:.0f}", f"{r.metrics.t_hand:.0f}",
-             f"{r.paper['t_hand']:.0f}"]
-            for r in rows
-        ],
-    ))
-    by_name = {r.name: r.metrics for r in rows}
-    # Communication-intensity ordering, as in the paper:
-    # barrier communicates most often, then enum, then the CRL codes,
-    # with LU the most compute-bound.
-    assert by_name["barrier"].t_betw < by_name["enum"].t_betw
-    assert by_name["enum"].t_betw < by_name["barnes"].t_betw
-    assert by_name["barnes"].t_betw < by_name["water"].t_betw
-    assert by_name["water"].t_betw < by_name["lu"].t_betw
-    # Standalone runs essentially never buffer. (Barnes's tree grant
-    # streams hundreds of fragments from one handler and occasionally
-    # outlives the atomicity timer — the revocation mechanism working
-    # as designed — so allow a sub-1% residue rather than exactly 0.)
-    for r in rows:
-        assert r.metrics.buffered_fraction < 0.01, r.name
-        assert r.metrics.messages_sent > 0
+    print(render_artifact_text("table6", run.doc))
+    assert_matches_goldens(run)

@@ -1,6 +1,7 @@
 """Run metrics and plain-text report rendering for the benchmarks."""
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, mean
+from repro.analysis.plot import render_ascii_plot
 from repro.analysis.report import render_table, render_series, format_count
 from repro.analysis.trace import MessageTracer, TraceEvent
 from repro.analysis.machine_report import render_machine_report
@@ -11,6 +12,7 @@ __all__ = [
     "mean",
     "render_table",
     "render_series",
+    "render_ascii_plot",
     "format_count",
     "MessageTracer",
     "TraceEvent",

@@ -1,0 +1,73 @@
+"""ASCII line plots for the validation report bundle.
+
+The figures of the paper are x/y sweeps; the report bundle renders each
+one as a deterministic character grid so a terminal (or a CI artifact
+viewer) shows the *shape* — crossovers, flat-vs-linear splits — next to
+the numeric tables. Rendering is pure: the same series always produce
+the same bytes, which keeps the generated artifacts diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+#: Per-series marker glyphs, assigned in series order.
+_MARKERS = "ox+*#@%&"
+
+
+def render_ascii_plot(xs: Sequence[Any],
+                      series: Sequence[Tuple[str, Sequence[float]]],
+                      width: int = 64, height: int = 14,
+                      x_label: str = "x", y_label: str = "y") -> str:
+    """Plot ``series`` (label, values) over ``xs`` as a text grid.
+
+    Points are spread evenly over the x axis (the sweeps are sampled,
+    not continuous) and scaled to the overall y range. Overlapping
+    points keep the glyph of the *earlier* series so rendering is
+    deterministic in series order.
+    """
+    if not xs or not series:
+        return "(no data)"
+    values = [v for _label, ys in series for v in ys]
+    lo = min(0.0, min(values))
+    hi = max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    span = hi - lo
+    grid = [[" "] * width for _ in range(height)]
+    columns = _columns(len(xs), width)
+    for index, (label, ys) in enumerate(reversed(list(series))):
+        marker = _MARKERS[(len(series) - 1 - index) % len(_MARKERS)]
+        for i, value in enumerate(ys):
+            row = height - 1 - int((value - lo) * (height - 1) / span)
+            grid[row][columns[i]] = marker
+    left = [f"{hi:>10.2f} |", *[" " * 10 + " |"] * (height - 2),
+            f"{lo:>10.2f} |"]
+    lines = [left[r] + "".join(grid[r]) for r in range(height)]
+    lines.append(" " * 11 + "+" + "-" * width)
+    first, last = _format_x(xs[0]), _format_x(xs[-1])
+    axis = (" " * 12 + first
+            + " " * max(1, width - len(first) - len(last))
+            + last)
+    lines.append(axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, (label, _ys) in enumerate(series)
+    )
+    lines.append(f"   {y_label} vs {x_label}:  {legend}")
+    return "\n".join(lines)
+
+
+def _columns(points: int, width: int) -> List[int]:
+    if points == 1:
+        return [0]
+    return [int(i * (width - 1) / (points - 1)) for i in range(points)]
+
+
+def _format_x(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+__all__ = ["render_ascii_plot"]

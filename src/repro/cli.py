@@ -288,6 +288,23 @@ def _cmd_stats(args) -> None:
         print(f"\nwrote {lines} JSONL lines to {args.export}")
 
 
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.validate import run_report
+
+    kwargs = _runner_kwargs(args)
+    return run_report(
+        only=args.only or None,
+        goldens_path=Path(args.goldens) if args.goldens else None,
+        out_dir=Path(args.out) if args.out else None,
+        experiments_path=(Path(args.experiments)
+                          if args.experiments else None),
+        update=args.update_goldens, check=args.check,
+        jobs=kwargs["jobs"], cache=kwargs["cache"],
+    )
+
+
 def _cmd_cache(args) -> None:
     from repro.runner import ResultCache
 
@@ -309,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
+        epilog="`repro report` is the single supported entry point for "
+               "regenerating every paper artifact, validating it "
+               "against goldens/paper.json, and rewriting "
+               "EXPERIMENTS.md (see docs/VALIDATION.md).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -385,6 +406,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(ps)
     ps.set_defaults(fn=_cmd_stats)
 
+    pr = sub.add_parser(
+        "report",
+        help="regenerate every artifact, validate against goldens, "
+             "emit the report bundle and EXPERIMENTS.md")
+    pr.add_argument("--check", action="store_true",
+                    help="CI mode: exit non-zero when any quantity "
+                         "drifts out of its tolerance band")
+    pr.add_argument("--update-goldens", action="store_true",
+                    help="re-stamp goldens/paper.json from this run "
+                         "(predicates must hold; review the diff)")
+    pr.add_argument("--only", nargs="+", metavar="ARTIFACT",
+                    default=None,
+                    help="restrict to these artifact ids "
+                         "(table4 table5 table6 fig7 fig8 fig9 fig10 "
+                         "ablations)")
+    pr.add_argument("--goldens", metavar="FILE", default=None,
+                    help="goldens file (default: goldens/paper.json)")
+    pr.add_argument("--out", metavar="DIR", default=None,
+                    help="report bundle directory (default: report/)")
+    pr.add_argument("--experiments", metavar="FILE", default=None,
+                    help="EXPERIMENTS.md path to rewrite "
+                         "(default: the repo's)")
+    _add_runner_flags(pr)
+    pr.set_defaults(fn=_cmd_report)
+
     pc = sub.add_parser(
         "cache", help="inspect or maintain the persistent result cache")
     pc.add_argument("--prune", action="store_true",
@@ -400,5 +446,5 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.fn(args)
-    return 0
+    code = args.fn(args)
+    return 0 if code is None else int(code)

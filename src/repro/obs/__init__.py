@@ -29,7 +29,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.core.two_case import TransitionReason
-from repro.obs.export import render_obs_report, sparkline, write_jsonl
+from repro.obs.export import (render_obs_report, sparkline, write_jsonl,
+                              write_validation_jsonl)
 from repro.obs.profiler import EngineProfiler
 from repro.obs.registry import (Counter, DuplicateMetric, Gauge, Histogram,
                                 MetricRegistry)
@@ -264,6 +265,7 @@ class Observatory:
 __all__ = [
     "Observatory", "MetricRegistry", "Counter", "Gauge", "Histogram",
     "DuplicateMetric", "TimelineSampler", "take_sample", "EngineProfiler",
-    "render_obs_report", "write_jsonl", "sparkline",
+    "render_obs_report", "write_jsonl", "write_validation_jsonl",
+    "sparkline",
     "DEFAULT_SAMPLE_INTERVAL",
 ]

@@ -149,4 +149,38 @@ def write_jsonl(path, payload: Dict[str, Any],
     return lines
 
 
-__all__ = ["render_obs_report", "write_jsonl", "sparkline"]
+def write_validation_jsonl(path, results_by_artifact: Dict[str, list],
+                           provenance: Optional[Dict[str, Any]] = None,
+                           ) -> int:
+    """Export validation check results in the same JSONL shape.
+
+    One ``meta`` line (overall verdict + golden provenance), then one
+    ``check`` line per quantity — so drift history ingests with the
+    same tooling as the observability exports.
+    """
+    lines = 0
+    total = sum(len(results) for results in results_by_artifact.values())
+    drifted = sum(
+        1 for results in results_by_artifact.values()
+        for result in results if not result.ok
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        meta: Dict[str, Any] = {
+            "type": "meta", "checks": total, "drifted": drifted,
+            "ok": drifted == 0,
+        }
+        if provenance is not None:
+            meta["provenance"] = provenance
+        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+        lines += 1
+        for artifact_id in sorted(results_by_artifact):
+            for result in results_by_artifact[artifact_id]:
+                record = {"type": "check", "artifact": artifact_id}
+                record.update(result.as_dict())
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                lines += 1
+    return lines
+
+
+__all__ = ["render_obs_report", "write_jsonl", "write_validation_jsonl",
+           "sparkline"]

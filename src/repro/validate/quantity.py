@@ -1,0 +1,164 @@
+"""Quantities and tolerance bands: the atoms of golden validation.
+
+A :class:`Quantity` names one number (or predicate, or ordering) that a
+paper artifact is expected to reproduce, together with the *tolerance
+band* that decides whether a freshly measured value still matches the
+committed golden:
+
+* ``exact`` — bit-equality. Used for the Table 4/5 cycle costs, which
+  the simulator reproduces by construction; any deviation is a
+  cost-model regression.
+* ``absolute`` — ``|measured - golden| <= tolerance``, in the
+  quantity's own unit.
+* ``relative`` — ``|measured - golden| <= tolerance * |golden|``. Used
+  for application runtimes and derived rates, where small intentional
+  drift is acceptable but a silent shift must be flagged.
+* ``ordering`` — the measured value is a list of labels (e.g. the
+  Table 6 communication-intensity ordering) compared for exact
+  sequence equality with the golden.
+* ``predicate`` — the measured value is a boolean computed from a whole
+  series (e.g. "the Figure 10 crossover exists"); the golden records
+  that it held when the goldens were stamped, and it must keep holding.
+
+The ``paper`` field carries the paper's reference value for display; it
+never participates in the comparison (the golden does), so scaled
+reproductions keep their paper-vs-measured tables honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: The closed set of tolerance-band kinds.
+KINDS = ("exact", "absolute", "relative", "ordering", "predicate")
+
+
+class QuantityError(ValueError):
+    """A quantity was declared or compared against malformed data."""
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """One validated quantity of a paper artifact."""
+
+    name: str
+    kind: str
+    #: The paper's reference value (display only; never compared).
+    paper: Any = None
+    #: Band width for ``absolute`` (units) / ``relative`` (fraction).
+    tolerance: float = 0.0
+    unit: str = ""
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise QuantityError(
+                f"quantity {self.name!r} has unknown kind "
+                f"{self.kind!r}; expected one of {KINDS}"
+            )
+        if self.kind in ("absolute", "relative") and self.tolerance < 0:
+            raise QuantityError(
+                f"quantity {self.name!r} has negative tolerance "
+                f"{self.tolerance!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def band(self) -> str:
+        """Human-readable description of the tolerance band."""
+        if self.kind == "exact":
+            return "exact"
+        if self.kind == "absolute":
+            return f"±{self.tolerance:g}"
+        if self.kind == "relative":
+            return f"±{self.tolerance:.0%}"
+        if self.kind == "ordering":
+            return "sequence equal"
+        return "must hold"
+
+    def check(self, golden: Any, measured: Any) -> "CheckResult":
+        """Compare ``measured`` against ``golden`` within the band."""
+        ok, detail = self._compare(golden, measured)
+        return CheckResult(quantity=self, golden=golden,
+                           measured=measured, ok=ok, detail=detail)
+
+    # ------------------------------------------------------------------
+    def _compare(self, golden: Any, measured: Any) -> Tuple[bool, str]:
+        if measured is None:
+            return False, "no measured value produced"
+        if self.kind == "ordering":
+            if not isinstance(measured, (list, tuple)):
+                return False, f"measured {measured!r} is not a sequence"
+            if list(measured) == list(golden):
+                return True, "ordering matches"
+            return False, (f"ordering changed: golden {list(golden)!r} "
+                           f"vs measured {list(measured)!r}")
+        if self.kind == "predicate":
+            if bool(measured):
+                return True, "predicate holds"
+            return False, "predicate no longer holds"
+        # Numeric kinds from here on.
+        try:
+            m = float(measured)
+            g = float(golden)
+        except (TypeError, ValueError):
+            return False, (f"non-numeric comparison: golden {golden!r} "
+                           f"vs measured {measured!r}")
+        delta = m - g
+        if self.kind == "exact":
+            if m == g:
+                return True, "exact match"
+            return False, f"drifted by {delta:+g} (band: exact)"
+        if self.kind == "absolute":
+            if abs(delta) <= self.tolerance:
+                return True, f"within ±{self.tolerance:g}"
+            return False, (f"drifted by {delta:+g} "
+                           f"(band: ±{self.tolerance:g})")
+        # relative
+        allowed = self.tolerance * abs(g)
+        if abs(delta) <= allowed:
+            return True, f"within ±{self.tolerance:.0%}"
+        rel = delta / g if g else float("inf")
+        return False, (f"drifted by {rel:+.1%} "
+                       f"(band: ±{self.tolerance:.0%})")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one quantity comparison."""
+
+    quantity: Quantity
+    golden: Any
+    measured: Any
+    ok: bool
+    detail: str
+
+    @property
+    def name(self) -> str:
+        return self.quantity.name
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "DRIFT"
+        return (f"[{status}] {self.quantity.name}: golden="
+                f"{_short(self.golden)} measured={_short(self.measured)}"
+                f" — {self.detail}")
+
+    def as_dict(self) -> dict:
+        return {
+            "quantity": self.quantity.name,
+            "kind": self.quantity.kind,
+            "paper": self.quantity.paper,
+            "golden": self.golden,
+            "measured": self.measured,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return repr(value) if isinstance(value, (list, tuple)) else str(value)
+
+
+__all__ = ["Quantity", "CheckResult", "QuantityError", "KINDS"]

@@ -1,0 +1,265 @@
+"""Unit coverage for the golden-validation subsystem.
+
+Exercises the comparator's tolerance-band edge cases (including the
+boundary-equality cases that decide whether a value *exactly* at the
+band edge passes), the schema-hash staleness detection, the loader's
+actionable errors for malformed/stale goldens, the bit-stable
+round-trip of the canonical serialization, and the comparator-level
+Figure 7/8 crossover perturbation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import costs
+from repro.validate import (
+    ARTIFACTS, GoldenError, Quantity, QuantityError, build_goldens,
+    canonical_bytes, compare_artifact, golden_artifact, golden_values,
+    load_goldens, save_goldens,
+)
+from repro.validate.artifacts import ArtifactRun
+
+
+# ----------------------------------------------------------------------
+# Quantity / tolerance bands
+# ----------------------------------------------------------------------
+class TestQuantityBands:
+    def test_exact_match_and_drift(self):
+        q = Quantity("x", "exact")
+        assert q.check(87, 87).ok
+        assert q.check(87, 87.0).ok
+        result = q.check(87, 88)
+        assert not result.ok
+        assert "+1" in result.detail
+
+    def test_absolute_boundary_equality_passes(self):
+        q = Quantity("x", "absolute", tolerance=2.0)
+        assert q.check(100.0, 102.0).ok  # exactly at the band edge
+        assert not q.check(100.0, 102.5).ok
+
+    def test_relative_boundary_equality_passes(self):
+        q = Quantity("x", "relative", tolerance=0.05)
+        assert q.check(100.0, 105.0).ok  # exactly 5%
+        assert not q.check(100.0, 105.1).ok
+        # The band scales with the golden, not the paper value.
+        assert q.check(1000.0, 1050.0).ok
+
+    def test_relative_drift_detail_reports_percent(self):
+        q = Quantity("x", "relative", tolerance=0.05)
+        result = q.check(100.0, 120.0)
+        assert not result.ok
+        assert "+20.0%" in result.detail
+
+    def test_ordering(self):
+        q = Quantity("order", "ordering")
+        golden = ["barrier", "enum", "barnes"]
+        assert q.check(golden, ["barrier", "enum", "barnes"]).ok
+        assert q.check(golden, ("barrier", "enum", "barnes")).ok
+        swapped = q.check(golden, ["enum", "barrier", "barnes"])
+        assert not swapped.ok
+        assert "ordering changed" in swapped.detail
+        assert not q.check(golden, "barrier").ok
+
+    def test_predicate(self):
+        q = Quantity("holds", "predicate")
+        assert q.check(True, True).ok
+        result = q.check(True, False)
+        assert not result.ok
+        assert "no longer holds" in result.detail
+
+    def test_missing_measurement_fails(self):
+        for kind in ("exact", "ordering", "predicate"):
+            result = Quantity("x", kind).check(1, None)
+            assert not result.ok
+            assert "no measured value" in result.detail
+
+    def test_non_numeric_comparison_fails(self):
+        result = Quantity("x", "exact").check(1, "abc")
+        assert not result.ok
+
+    def test_invalid_declarations_rejected(self):
+        with pytest.raises(QuantityError):
+            Quantity("x", "fuzzy")
+        with pytest.raises(QuantityError):
+            Quantity("x", "relative", tolerance=-0.1)
+
+    def test_band_descriptions(self):
+        assert Quantity("a", "exact").band() == "exact"
+        assert Quantity("b", "absolute", tolerance=2).band() == "±2"
+        assert Quantity("c", "relative", tolerance=0.05).band() == "±5%"
+        assert Quantity("d", "ordering").band() == "sequence equal"
+        assert Quantity("e", "predicate").band() == "must hold"
+
+
+# ----------------------------------------------------------------------
+# Schema hashes
+# ----------------------------------------------------------------------
+def test_schema_hash_stable_and_sensitive():
+    spec = ARTIFACTS["table4"]
+    assert spec.schema_hash() == spec.schema_hash()
+    # Distinct artifacts hash differently.
+    hashes = {s.schema_hash() for s in ARTIFACTS.values()}
+    assert len(hashes) == len(ARTIFACTS)
+
+
+# ----------------------------------------------------------------------
+# Goldens loader
+# ----------------------------------------------------------------------
+def _fake_run(artifact_id: str) -> ArtifactRun:
+    """Synthetic values satisfying the spec's quantity set."""
+    spec = ARTIFACTS[artifact_id]
+    values = {}
+    for q in spec.quantities:
+        if q.kind == "predicate":
+            values[q.name] = True
+        elif q.kind == "ordering":
+            values[q.name] = list(q.paper or ["a", "b"])
+        else:
+            values[q.name] = float(q.paper) if q.paper is not None \
+                else 1.0
+    return ArtifactRun(artifact=artifact_id, values=values,
+                       doc={"fake": True})
+
+
+def test_loader_missing_file(tmp_path):
+    with pytest.raises(GoldenError, match="does not exist"):
+        load_goldens(tmp_path / "nope.json")
+
+
+def test_loader_invalid_json(tmp_path):
+    path = tmp_path / "paper.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(GoldenError, match="not valid JSON"):
+        load_goldens(path)
+
+
+def test_loader_wrong_format_version(tmp_path):
+    path = tmp_path / "paper.json"
+    path.write_text(json.dumps({"format": 99}), encoding="utf-8")
+    with pytest.raises(GoldenError, match="format version"):
+        load_goldens(path)
+
+
+def test_loader_stale_cost_model(tmp_path):
+    path = tmp_path / "paper.json"
+    payload = build_goldens({"table4": _fake_run("table4")})
+    payload["provenance"]["cost_model_version"] = \
+        costs.COST_MODEL_VERSION + 1
+    save_goldens(payload, path)
+    with pytest.raises(GoldenError, match="cost-model change"):
+        load_goldens(path)
+
+
+def test_loader_errors_name_the_regen_command(tmp_path):
+    with pytest.raises(GoldenError, match="repro report"):
+        load_goldens(tmp_path / "nope.json")
+
+
+def test_artifact_entry_missing(tmp_path):
+    path = tmp_path / "paper.json"
+    payload = build_goldens({"table4": _fake_run("table4")})
+    save_goldens(payload, path)
+    loaded = load_goldens(path)
+    with pytest.raises(GoldenError, match="no entry"):
+        golden_artifact(loaded, ARTIFACTS["table5"], path)
+
+
+def test_artifact_schema_mismatch_detected(tmp_path):
+    path = tmp_path / "paper.json"
+    payload = build_goldens({"table4": _fake_run("table4")})
+    payload["artifacts"]["table4"]["schema"] = "000000000000"
+    save_goldens(payload, path)
+    loaded = load_goldens(path)
+    with pytest.raises(GoldenError, match="schema"):
+        golden_artifact(loaded, ARTIFACTS["table4"], path)
+
+
+def test_artifact_quantity_set_mismatch_detected(tmp_path):
+    path = tmp_path / "paper.json"
+    payload = build_goldens({"table4": _fake_run("table4")})
+    del payload["artifacts"]["table4"]["quantities"]["send_total"]
+    save_goldens(payload, path)
+    loaded = load_goldens(path)
+    with pytest.raises(GoldenError, match="send_total"):
+        golden_artifact(loaded, ARTIFACTS["table4"], path)
+
+
+def test_build_rejects_missing_quantity_value():
+    run = _fake_run("table4")
+    del run.values["send_total"]
+    with pytest.raises(GoldenError, match="send_total"):
+        build_goldens({"table4": run})
+
+
+def test_round_trip_is_bit_stable(tmp_path):
+    path = tmp_path / "paper.json"
+    payload = build_goldens({"table4": _fake_run("table4"),
+                             "fig8": _fake_run("fig8")})
+    save_goldens(payload, path)
+    first = path.read_bytes()
+    # load -> save again: identical bytes.
+    save_goldens(load_goldens(path), path)
+    assert path.read_bytes() == first
+    assert canonical_bytes(load_goldens(path)) == first
+
+
+def test_subset_restamp_preserves_other_artifacts(tmp_path):
+    payload = build_goldens({"table4": _fake_run("table4"),
+                             "fig8": _fake_run("fig8")})
+    updated = build_goldens({"table4": _fake_run("table4")},
+                            base=payload)
+    assert "fig8" in updated["artifacts"]
+    assert updated["artifacts"]["fig8"] == payload["artifacts"]["fig8"]
+
+
+# ----------------------------------------------------------------------
+# Comparator-level crossover perturbations (Fig. 7/8)
+# ----------------------------------------------------------------------
+def test_fig8_crossover_perturbation_flags_drift():
+    spec = ARTIFACTS["fig8"]
+    run = _fake_run("fig8")
+    goldens = golden_values(
+        build_goldens({"fig8": run})["artifacts"]["fig8"])
+    clean = compare_artifact(spec, goldens, run)
+    assert all(r.ok for r in clean)
+    # Perturb the crossover: barrier no longer the most sensitive.
+    perturbed = ArtifactRun(
+        artifact="fig8",
+        values={**run.values, "barrier_most_sensitive": False},
+        doc=run.doc)
+    results = compare_artifact(spec, goldens, perturbed)
+    bad = {r.name for r in results if not r.ok}
+    assert bad == {"barrier_most_sensitive"}
+
+
+def test_fig7_growth_and_bound_perturbations_flag_drift():
+    spec = ARTIFACTS["fig7"]
+    run = _fake_run("fig7")
+    goldens = golden_values(
+        build_goldens({"fig7": run})["artifacts"]["fig7"])
+    perturbed = ArtifactRun(
+        artifact="fig7",
+        values={**run.values, "enum_linear_growth": False,
+                "buffered_at_20_enum": run.values["buffered_at_20_enum"]
+                * 2.0},
+        doc=run.doc)
+    results = compare_artifact(spec, goldens, perturbed)
+    bad = {r.name for r in results if not r.ok}
+    assert bad == {"enum_linear_growth", "buffered_at_20_enum"}
+
+
+def test_table6_ordering_perturbation_flags_drift():
+    spec = ARTIFACTS["table6"]
+    run = _fake_run("table6")
+    goldens = golden_values(
+        build_goldens({"table6": run})["artifacts"]["table6"])
+    order = list(run.values["t_betw_ordering"])
+    order[0], order[1] = order[1], order[0]
+    perturbed = ArtifactRun(
+        artifact="table6",
+        values={**run.values, "t_betw_ordering": order}, doc=run.doc)
+    results = compare_artifact(spec, goldens, perturbed)
+    assert {r.name for r in results if not r.ok} == {"t_betw_ordering"}
