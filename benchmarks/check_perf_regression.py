@@ -1,0 +1,72 @@
+"""Gate CI on engine-throughput regressions against the committed baseline.
+
+Compares the freshly written ``BENCH_runner.json`` (produced by
+``benchmarks/perf_smoke.py`` earlier in the same job, overwriting the
+working-tree copy) against the committed baseline read via
+``git show HEAD:BENCH_runner.json``. Fails when fresh engine
+events/second drop more than ``--threshold`` (default 20%) below the
+committed figure.
+
+Raw events/s is noisy across runner hardware generations, so the gate
+is deliberately loose (a >20% drop is a real regression, not jitter);
+the tight +25%-improvement acceptance tracking lives in the committed
+numbers themselves.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+    python benchmarks/check_perf_regression.py [--threshold 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def committed_baseline(path: str) -> dict | None:
+    """The committed copy of ``path``, or None outside a git checkout."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{path}"],
+            capture_output=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return json.loads(blob)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", default="BENCH_runner.json",
+                        help="fresh smoke report (written by perf_smoke.py)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated events/s regression fraction")
+    args = parser.parse_args(argv)
+
+    with open(args.fresh, encoding="utf-8") as fh:
+        fresh = json.load(fh)
+    baseline = committed_baseline(args.fresh)
+    if baseline is None:
+        print(f"no committed {args.fresh} baseline (not a git checkout?); "
+              "skipping regression gate")
+        return 0
+
+    fresh_eps = fresh["engine_events"]["events_per_second"]
+    base_eps = baseline["engine_events"]["events_per_second"]
+    floor = base_eps * (1.0 - args.threshold)
+    change = fresh_eps / base_eps - 1.0
+    print(f"engine events/s: fresh {fresh_eps:,.0f} vs committed "
+          f"{base_eps:,.0f} ({change:+.1%}; floor {floor:,.0f} at "
+          f"-{args.threshold:.0%})")
+    if fresh_eps < floor:
+        print("FAIL: engine throughput regressed past the threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,17 +1,24 @@
 """Perf smoke benchmark: seed and track the repo's perf trajectory.
 
-Times four things and writes ``BENCH_runner.json`` plus
+Times five things and writes ``BENCH_runner.json`` plus
 ``BENCH_obs.json``:
 
 * **engine microbenchmark** — raw discrete-event throughput
   (events/second) on a process-churn loop and on a cancellation-heavy
   loop (the lazy-deletion/compaction path);
-* **runner sweep, serial vs parallel** — a small fixed multiprogrammed
-  sweep through :func:`repro.runner.run_specs` at ``jobs=1`` and
-  ``jobs=N``, verifying the metrics are identical and recording the
-  wall-clock ratio;
+* **runner sweep, serial vs parallel vs auto** — a small fixed
+  multiprogrammed sweep through :func:`repro.runner.run_specs` at
+  ``jobs=1``, forced ``mode="parallel"`` at ``jobs=N``, and
+  ``mode="auto"`` (recording which case auto picked and what dispatch
+  cost), verifying the metrics are identical across all of them;
 * **cache replay** — the same sweep again from the persistent cache,
   recording hit counts and replay time;
+* **two-case fast path** — one quiescent whole-machine run with a
+  closure-counting shim over ``engine.call_at``/``engine.schedule``
+  (asserting *zero* per-message lambda/closure allocation), the
+  engine/fabric/NI fast-path hit counters, and a bit-identity check of
+  the run metrics against the same run forced down the general path
+  via ``REPRO_NO_FASTPATH``;
 * **observability overhead** — one multiprogrammed run with the
   :class:`~repro.obs.Observatory` disabled vs enabled (best of N),
   asserting the metrics stay bit-identical and gating the events/sec
@@ -32,6 +39,7 @@ import sys
 import tempfile
 import time
 from dataclasses import asdict
+from types import FunctionType
 
 from repro.analysis.metrics import collect_metrics
 from repro.apps.null_app import NullApplication
@@ -41,7 +49,7 @@ from repro.experiments.workloads import make_workload
 from repro.machine.machine import Machine
 from repro.obs import EngineProfiler
 from repro.runner import ResultCache, default_jobs, run_specs
-from repro.sim.engine import Delay, Engine
+from repro.sim.engine import _NO_ARG, Delay, Engine
 
 #: Maximum tolerated events/sec regression with observability enabled.
 OBS_OVERHEAD_LIMIT = 0.10
@@ -96,18 +104,31 @@ def bench_engine_cancellation(total: int = 200_000,
 
 
 def bench_sweep(jobs: int) -> dict:
-    """Serial vs parallel vs cached execution of the smoke sweep."""
+    """Serial vs forced-parallel vs auto vs cached smoke-sweep runs."""
     start = time.perf_counter()
     serial = run_specs(SMOKE_SPECS, jobs=1)
     serial_wall = time.perf_counter() - start
 
+    # Forced parallel: measure the pool even where auto mode would
+    # decline it (the speedup on a small box records fork overhead).
+    parallel_info: dict = {}
     start = time.perf_counter()
-    parallel = run_specs(SMOKE_SPECS, jobs=jobs)
+    parallel = run_specs(SMOKE_SPECS, jobs=jobs, mode="parallel",
+                         info=parallel_info)
     parallel_wall = time.perf_counter() - start
+
+    # Auto: what run_specs actually does for users, and why.
+    auto_info: dict = {}
+    start = time.perf_counter()
+    auto = run_specs(SMOKE_SPECS, jobs=jobs, info=auto_info)
+    auto_wall = time.perf_counter() - start
 
     identical = all(
         asdict(a.require()) == asdict(b.require())
         for a, b in zip(serial, parallel)
+    ) and all(
+        asdict(a.require()) == asdict(b.require())
+        for a, b in zip(serial, auto)
     )
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -128,10 +149,116 @@ def bench_sweep(jobs: int) -> dict:
         "serial_wall_seconds": serial_wall,
         "parallel_wall_seconds": parallel_wall,
         "speedup": serial_wall / parallel_wall if parallel_wall else 0.0,
+        "parallel_dispatch_seconds": parallel_info.get("dispatch_seconds"),
+        "parallel_workers": parallel_info.get("workers"),
+        "auto_mode": auto_info.get("mode"),
+        "auto_mode_reason": auto_info.get("mode_reason"),
+        "auto_wall_seconds": auto_wall,
+        "auto_dispatch_seconds": auto_info.get("dispatch_seconds"),
         "cache_hits": cache_hits,
         "cache_replay_wall_seconds": replay_wall,
         "serial_parallel_identical": identical,
         "cache_replay_identical": replay_identical,
+    }
+
+
+def _attach_closure_counter(engine) -> dict:
+    """Shadow call_at/schedule, counting lambda/closure callbacks.
+
+    Bound methods pass; only plain functions carrying a closure cell
+    (or named ``<lambda>``) count — exactly the per-message allocation
+    the two-case refactor eliminates.
+    """
+    counts = {"closures": 0, "scheduled": 0}
+    orig_call_at = engine.call_at
+    orig_schedule = engine.schedule
+
+    def check(fn) -> None:
+        counts["scheduled"] += 1
+        if isinstance(fn, FunctionType) and (
+                fn.__closure__ is not None or fn.__name__ == "<lambda>"):
+            counts["closures"] += 1
+
+    def call_at(when, fn, arg=_NO_ARG):
+        check(fn)
+        return orig_call_at(when, fn, arg)
+
+    def schedule(when, fn, arg=_NO_ARG):
+        check(fn)
+        return orig_schedule(when, fn, arg)
+
+    engine.call_at = call_at
+    engine.schedule = schedule
+    return counts
+
+
+def _machine_run(force_general: bool = False,
+                 count_closures: bool = False):
+    """One quiescent multiprogrammed barrier-vs-null run.
+
+    Returns ``(machine, metrics, closure_counts)``. ``force_general``
+    sets ``REPRO_NO_FASTPATH`` for the machine's construction, pushing
+    every layer down the general path.
+    """
+    saved = os.environ.pop("REPRO_NO_FASTPATH", None)
+    if force_general:
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+    try:
+        config = SimulationConfig(num_nodes=8, seed=1, skew_fraction=0.1,
+                                  timeslice=100_000)
+        machine = Machine(config)
+        app = make_workload("barrier", seed=1, num_nodes=8, scale="fast")
+        job = machine.add_job(app)
+        machine.add_job(NullApplication())
+        counts = None
+        if count_closures:
+            counts = _attach_closure_counter(machine.engine)
+        machine.start()
+        machine.run_until_job_done(job, limit=50_000_000_000)
+        return machine, collect_metrics(machine, job), counts
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+
+
+def bench_fastpath() -> dict:
+    """Two-case fast-path accounting + zero-closure + identity gates.
+
+    ``gate_ok`` requires: no lambda/closure scheduled during a
+    quiescent run, bit-identical metrics between the fast and the
+    forced-general (``REPRO_NO_FASTPATH``) run, the general run using
+    the run queue not at all, and the fast run actually exercising
+    every fast path it claims to have.
+    """
+    machine, metrics, counts = _machine_run(count_closures=True)
+    general_machine, general_metrics, _ = _machine_run(force_general=True)
+
+    engine = machine.engine
+    fabric = machine.fabric.stats
+    ni_fast = sum(n.ni.stats.fast_deliveries for n in machine.nodes)
+    ni_general = sum(n.ni.stats.general_deliveries for n in machine.nodes)
+    identical = asdict(metrics) == asdict(general_metrics)
+    return {
+        "closures_scheduled": counts["closures"],
+        "callbacks_scheduled": counts["scheduled"],
+        "runq_events": engine.runq_events,
+        "heap_events": engine.events_executed - engine.runq_events,
+        "fabric_fast_sends": fabric.fast_path_sends,
+        "fabric_general_sends": fabric.general_path_sends,
+        "ni_fast_deliveries": ni_fast,
+        "ni_general_deliveries": ni_general,
+        "general_runq_events": general_machine.engine.runq_events,
+        "metrics_identical_vs_general": identical,
+        "gate_ok": (
+            counts["closures"] == 0
+            and identical
+            and general_machine.engine.runq_events == 0
+            and engine.runq_events > 0
+            and fabric.fast_path_sends > 0
+            and ni_fast > 0
+        ),
     }
 
 
@@ -226,6 +353,7 @@ def main(argv=None) -> int:
         "engine_events": bench_engine_events(),
         "engine_cancellation": bench_engine_cancellation(),
         "sweep": bench_sweep(jobs),
+        "fastpath": bench_fastpath(),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -244,16 +372,25 @@ def main(argv=None) -> int:
 
     events = report["engine_events"]["events_per_second"]
     sweep = report["sweep"]
+    fastpath = report["fastpath"]
     print(f"engine: {events:,.0f} events/s")
     print(f"sweep ({sweep['runs']} runs): serial "
           f"{sweep['serial_wall_seconds']:.2f}s, jobs={sweep['jobs']} "
           f"{sweep['parallel_wall_seconds']:.2f}s "
-          f"(speedup {sweep['speedup']:.2f}x), cache replay "
+          f"(speedup {sweep['speedup']:.2f}x), auto={sweep['auto_mode']} "
+          f"[{sweep['auto_mode_reason']}] "
+          f"{sweep['auto_wall_seconds']:.2f}s, cache replay "
           f"{sweep['cache_replay_wall_seconds']:.3f}s "
           f"({sweep['cache_hits']} hits)")
-    print(f"identical: serial/parallel="
+    print(f"identical: serial/parallel/auto="
           f"{sweep['serial_parallel_identical']} "
           f"cache={sweep['cache_replay_identical']}")
+    print(f"fastpath: {fastpath['runq_events']:,} runq events, "
+          f"{fastpath['fabric_fast_sends']:,} fast sends, "
+          f"{fastpath['ni_fast_deliveries']:,} fast deliveries, "
+          f"{fastpath['closures_scheduled']} closures scheduled, "
+          f"identical vs general: "
+          f"{fastpath['metrics_identical_vs_general']}")
     print(f"obs: disabled {obs['disabled_events_per_second']:,.0f} "
           f"events/s, enabled {obs['enabled_events_per_second']:,.0f} "
           f"events/s (overhead {obs['overhead_fraction']:+.1%}, "
@@ -265,6 +402,7 @@ def main(argv=None) -> int:
     print(f"wrote {args.out} and {args.obs_out}")
     return 0 if (sweep["serial_parallel_identical"]
                  and sweep["cache_replay_identical"]
+                 and fastpath["gate_ok"]
                  and obs["gate_ok"]) else 1
 
 

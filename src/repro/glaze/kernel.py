@@ -441,27 +441,27 @@ class NodeKernel:
         Deferred until the processor is at user level; conditions are
         re-verified at push time (the job may have been descheduled).
         """
-        def try_push() -> None:
-            if (
-                not state.installed
-                or state.mode is not DeliveryMode.BUFFERED
-                or state.buffer.empty
-            ):
-                state.drain_active = False
-                return
-            if self.processor.in_kernel:
-                self.engine.call_after(1, try_push)
-                return
-            frame = Frame(
-                state.runtime.drain_loop(),
-                name=f"drain:{state.job.name}@{self.node.node_id}",
-                kernel=False,
-                on_done=lambda _res: self._drain_finished(state),
-                job_gid=state.gid,
-            )
-            self.processor.push_frame(frame)
+        self.engine.call_soon(self._try_push_drain, state)
 
-        self.engine.call_at(self.engine.now, try_push)
+    def _try_push_drain(self, state: JobNodeState) -> None:
+        if (
+            not state.installed
+            or state.mode is not DeliveryMode.BUFFERED
+            or state.buffer.empty
+        ):
+            state.drain_active = False
+            return
+        if self.processor.in_kernel:
+            self.engine.call_after(1, self._try_push_drain, state)
+            return
+        frame = Frame(
+            state.runtime.drain_loop(),
+            name=f"drain:{state.job.name}@{self.node.node_id}",
+            kernel=False,
+            on_done=lambda _res: self._drain_finished(state),
+            job_gid=state.gid,
+        )
+        self.processor.push_frame(frame)
 
     def _drain_finished(self, state: JobNodeState) -> None:
         state.drain_active = False

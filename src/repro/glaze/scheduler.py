@@ -111,7 +111,10 @@ class GangScheduler:
         engine = self.machine.engine
         if when <= engine.now:
             when = engine.now + 1
-        engine.call_at(when, lambda: self._tick(node_id, tick_index))
+        engine.schedule(when, self._tick_boxed, (node_id, tick_index))
+
+    def _tick_boxed(self, boxed) -> None:
+        self._tick(boxed[0], boxed[1])
 
     def _tick(self, node_id: int, tick_index: int) -> None:
         node = self.machine.nodes[node_id]
@@ -164,7 +167,7 @@ class GangScheduler:
             return
         job.suspended = True
         engine = self.machine.engine
-        engine.call_after(duration, lambda: self._resume(job))
+        engine.call_after(duration, self._resume, job)
 
     @staticmethod
     def _resume(job: Job) -> None:

@@ -171,9 +171,7 @@ class Processor:
         is about to execute, and may return ``None`` to abort (the
         condition that raised the interrupt has evaporated).
         """
-        self.engine.call_at(
-            self.engine.now, lambda: self._deliver_kernel(frame_factory)
-        )
+        self.engine.call_soon(self._deliver_kernel, frame_factory)
 
     def _deliver_kernel(self, factory: Callable[[], Optional[Frame]]) -> None:
         if self.in_kernel:
@@ -191,9 +189,7 @@ class Processor:
         interrupt conditions when control returns to user level, so no
         wakeup is lost. The factory may return ``None`` to abort.
         """
-        self.engine.call_at(
-            self.engine.now, lambda: self._deliver_upcall(frame_factory)
-        )
+        self.engine.call_soon(self._deliver_upcall, frame_factory)
 
     def _deliver_upcall(self, factory: Callable[[], Optional[Frame]]) -> None:
         if self.in_kernel:
@@ -246,9 +242,10 @@ class Processor:
     # ------------------------------------------------------------------
     def _kick(self, frame: Frame) -> None:
         """Schedule the first advance of a freshly (re)topped frame."""
-        self.engine.call_at(
-            self.engine.now, lambda: self._advance_if_top(frame, None)
-        )
+        self.engine.call_soon(self._kick_top, frame)
+
+    def _kick_top(self, frame: Frame) -> None:
+        self._advance_if_top(frame, None)
 
     def _advance_if_top(self, frame: Frame, value: Any) -> None:
         if frame is not self.current or frame.state is FrameState.DONE:
@@ -273,7 +270,7 @@ class Processor:
                 frame.state = FrameState.DELAY
                 frame._delay_end = engine.now + op.cycles
                 frame._wake = engine.call_at(
-                    frame._delay_end, lambda: self._delay_done(frame)
+                    frame._delay_end, self._delay_done, frame
                 )
                 self._charge(frame, op.cycles)
                 return
@@ -307,13 +304,16 @@ class Processor:
             frame.state = FrameState.READY
             # Serialize through the engine to avoid re-entrant advance
             # from inside another frame's step.
-            self.engine.call_at(
-                self.engine.now, lambda: self._advance_if_ready(frame, value)
-            )
+            self.engine.call_soon(self._advance_ready_boxed, (frame, value))
         else:
             frame._ready_value = value
             frame._has_ready_value = True
             frame.state = FrameState.READY
+
+    def _advance_ready_boxed(self, pair) -> None:
+        """Single-argument adapter so ready advances can be scheduled
+        closure-free (the engine passes one ``arg`` through)."""
+        self._advance_if_ready(pair[0], pair[1])
 
     def _advance_if_ready(self, frame: Frame, value: Any) -> None:
         if frame is not self.current or frame.state is not FrameState.READY:
@@ -347,15 +347,14 @@ class Processor:
             frame._delay_end = self.engine.now + frame._remaining
             self._charge(frame, frame._remaining)
             frame._wake = self.engine.call_at(
-                frame._delay_end, lambda: self._delay_done(frame)
+                frame._delay_end, self._delay_done, frame
             )
         elif frame.state is FrameState.READY:
             if frame._has_ready_value:
                 value, frame._ready_value = frame._ready_value, None
                 frame._has_ready_value = False
-                self.engine.call_at(
-                    self.engine.now,
-                    lambda: self._advance_if_ready(frame, value),
+                self.engine.call_soon(
+                    self._advance_ready_boxed, (frame, value)
                 )
             else:
                 self._kick(frame)

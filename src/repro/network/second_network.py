@@ -60,4 +60,10 @@ class SecondNetwork:
         self.stats.words_carried += words
         latency = self.base_latency + self.per_word_latency * words
         handler = self._handlers[dst]
-        self.engine.call_after(latency, lambda: handler(src, kind, payload))
+        self.engine.schedule(self.engine.now + latency, self._deliver_boxed,
+                             (handler, src, kind, payload))
+
+    @staticmethod
+    def _deliver_boxed(boxed) -> None:
+        handler, src, kind, payload = boxed
+        handler(src, kind, payload)

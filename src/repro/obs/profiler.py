@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List
 
+from repro.sim.engine import _NO_ARG
+
 
 def _subsystem(fn: Callable) -> str:
     module = getattr(fn, "__module__", None)
@@ -42,37 +44,51 @@ class EngineProfiler:
 
     # ------------------------------------------------------------------
     def attach(self) -> "EngineProfiler":
-        """Shadow ``engine.call_at`` with the timing wrapper."""
+        """Shadow ``engine.call_at`` and ``engine.schedule`` with the
+        timing wrappers."""
         if self._attached:
             return self
-        original = self.engine.call_at  # bound class method
+        original_call_at = self.engine.call_at    # bound class methods
+        original_schedule = self.engine.schedule
         clock = self.clock
         seconds = self.seconds
         calls = self.calls
 
-        def profiled_call_at(when: int, fn: Callable[[], None]):
+        def wrap(fn: Callable, arg: Any) -> Callable[[], None]:
             key = _subsystem(fn)
 
             def timed() -> None:
                 start = clock()
                 try:
-                    fn()
+                    if arg is _NO_ARG:
+                        fn()
+                    else:
+                        fn(arg)
                 finally:
                     seconds[key] = seconds.get(key, 0.0) + (clock() - start)
                     calls[key] = calls.get(key, 0) + 1
 
-            return original(when, timed)
+            return timed
 
-        # Instance attribute shadows the class method; everything that
-        # schedules through this engine (call_after, timeout, processes)
-        # funnels into call_at, so one shadow covers the machine.
+        def profiled_call_at(when: int, fn: Callable, arg: Any = _NO_ARG):
+            return original_call_at(when, wrap(fn, arg))
+
+        def profiled_schedule(when: int, fn: Callable, arg: Any = _NO_ARG):
+            return original_schedule(when, wrap(fn, arg))
+
+        # Instance attributes shadow the class methods; everything that
+        # schedules through this engine (call_after, call_soon, timeout,
+        # processes) funnels into one of these two, so the pair covers
+        # the machine.
         self.engine.call_at = profiled_call_at
+        self.engine.schedule = profiled_schedule
         self._attached = True
         return self
 
     def detach(self) -> None:
         if self._attached:
-            del self.engine.call_at  # un-shadow the class method
+            del self.engine.call_at  # un-shadow the class methods
+            del self.engine.schedule
             self._attached = False
 
     def __enter__(self) -> "EngineProfiler":

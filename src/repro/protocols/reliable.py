@@ -149,7 +149,7 @@ class ReliableTransport:
         if self.retries:
             out.attempts = 1
             out.entry = rt.machine.engine.call_after(
-                self.retry_timeout, lambda: self._retry(key)
+                self.retry_timeout, self._retry, key
             )
 
     def _retry(self, key: Tuple[int, int, int]) -> None:
@@ -175,7 +175,7 @@ class ReliableTransport:
         # Exponential backoff (whether we sent or found no credit);
         # capped so the shift stays sane under large budgets.
         delay = self.retry_timeout << min(out.attempts, 6)
-        out.entry = engine.call_after(delay, lambda: self._retry(key))
+        out.entry = engine.call_after(delay, self._retry, key)
 
     # ------------------------------------------------------------------
     # Receiving
@@ -232,10 +232,12 @@ class ReliableTransport:
             fabric.send(message)
             return
         machine.engine.call_after(
-            backoff,
-            lambda: self._raw_send(machine, message,
-                                   min(backoff * 2, 4096)),
+            backoff, self._raw_send_boxed,
+            (machine, message, min(backoff * 2, 4096)),
         )
+
+    def _raw_send_boxed(self, boxed) -> None:
+        self._raw_send(boxed[0], boxed[1], boxed[2])
 
     def _h_ack(self, rt: UdmRuntime, msg) -> Generator:
         acker, seq = msg.payload

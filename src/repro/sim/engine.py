@@ -11,11 +11,39 @@ generators that yield:
 Processes may also raise ``StopIteration`` (returning a value) which
 triggers the process's ``done`` event, so processes can wait for each
 other by yielding ``other_process.done``.
+
+Two-case scheduling
+-------------------
+
+The engine itself exploits the paper's two-case idea: the common case
+(a callback that needs no cancellation handle, or one scheduled for the
+*current* cycle) pays for none of the machinery the uncommon case
+needs.
+
+* :meth:`Engine.schedule` is the fast case — no ``_ScheduledCall``
+  handle is allocated, the heap stores a bare ``(time, seq, fn, arg)``
+  tuple, and there is no freelist or refcount bookkeeping to retire.
+* :meth:`Engine.call_at` is the general case — it returns a cancellable
+  handle, at the cost of one (recycled) ``_ScheduledCall`` per call.
+* Callbacks for the current cycle bypass the heap entirely: they go on
+  a same-cycle **run queue** (a plain FIFO) drained whenever no heap
+  entry shares the current timestamp. Because every heap entry at time
+  ``T`` was necessarily scheduled *before* the clock reached ``T``
+  (same-cycle schedules always take the run queue), draining the heap's
+  ``T`` entries first and the run queue second reproduces the global
+  ``(time, seq)`` order exactly — run order is bit-identical to the
+  heap-only engine, just cheaper.
+
+Setting ``REPRO_NO_FASTPATH`` in the environment (read at construction
+time) forces every schedule through the heap; the property suite uses
+this to prove the fast paths never change simulation results.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from sys import getrefcount
 from typing import Any, Callable, Generator, List, Optional
 
@@ -26,6 +54,22 @@ class SimulationError(RuntimeError):
     """Raised for fatal conditions inside the simulation kernel."""
 
 
+class _Sentinel:
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.label}>"
+
+
+#: "No argument" marker: ``fn()`` is called instead of ``fn(arg)``.
+_NO_ARG = _Sentinel("no-arg")
+#: Heap-item marker in slot 3: slot 2 holds a cancellable entry.
+_ENTRY = _Sentinel("entry")
+
+
 class Delay:
     """Yielded by a process to advance simulated time by ``cycles``."""
 
@@ -34,7 +78,7 @@ class Delay:
     def __init__(self, cycles: int) -> None:
         if cycles < 0:
             raise ValueError(f"negative delay: {cycles}")
-        self.cycles = int(cycles)
+        self.cycles = cycles if type(cycles) is int else int(cycles)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Delay({self.cycles})"
@@ -44,22 +88,25 @@ class _ScheduledCall:
     """Handle for one scheduled callback; ``cancelled`` makes removal
     O(1) (lazy deletion).
 
-    The heap itself stores ``(time, seq, entry)`` tuples so ordering is
-    resolved by C-level tuple comparison — ``seq`` is unique, so the
-    comparison never reaches the entry object (this removed the hottest
-    Python function in whole-machine profiles). Entries keep a
-    back-reference to their engine so cancellation can be counted: when
-    cancelled entries dominate the heap the engine compacts it in one
-    pass instead of paying log-time pops for dead weight.
+    The heap itself stores ``(time, seq, entry, _ENTRY)`` tuples so
+    ordering is resolved by C-level tuple comparison — ``seq`` is
+    unique, so the comparison never reaches the entry object (this
+    removed the hottest Python function in whole-machine profiles).
+    Entries keep a back-reference to their engine so cancellation can
+    be counted: when cancelled entries dominate the heap the engine
+    compacts it in one pass instead of paying log-time pops for dead
+    weight.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "engine")
+    __slots__ = ("time", "seq", "fn", "arg", "cancelled", "engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None],
+    def __init__(self, time: int, seq: int, fn: Callable[..., None],
+                 arg: Any = _NO_ARG,
                  engine: Optional["Engine"] = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
+        self.arg = arg
         self.cancelled = False
         self.engine = engine
 
@@ -108,10 +155,11 @@ class Process:
         # Exact-type checks first: Delay/Event/Process are effectively
         # final in the hot path, and ``type(x) is C`` is markedly cheaper
         # than isinstance(). The isinstance() fallback keeps subclasses
-        # working.
+        # working. Delay resumption needs no cancellation handle, so it
+        # takes the handle-free schedule() fast case.
         cls = target.__class__
         if cls is Delay:
-            engine.call_at(engine.now + target.cycles, self._step)
+            engine.schedule(engine.now + target.cycles, self._step)
         elif cls is Event:
             self._waiting_on = target
             target.subscribe(self._on_event)
@@ -119,7 +167,7 @@ class Process:
             self._waiting_on = target.done
             target.done.subscribe(self._on_event)
         elif isinstance(target, Delay):
-            engine.call_at(engine.now + target.cycles, self._step)
+            engine.schedule(engine.now + target.cycles, self._step)
         elif isinstance(target, Event):
             self._waiting_on = target
             target.subscribe(self._on_event)
@@ -165,68 +213,124 @@ _COMPACT_MIN_CANCELLED = 512
 #: Upper bound on the `_ScheduledCall` free list (allocation reuse).
 _FREELIST_MAX = 1024
 
+#: Sentinel bound for run(until=None, max_events=None): compares greater
+#: than every int, so the hot loop needs no per-event None checks.
+_UNBOUNDED = float("inf")
+
 
 class Engine:
-    """The global event heap and simulated clock (integer cycles)."""
+    """The global event heap, same-cycle run queue and simulated clock
+    (integer cycles)."""
 
     def __init__(self) -> None:
         self.now: int = 0
-        #: Heap of ``(time, seq, _ScheduledCall)`` tuples.
+        #: Heap of ``(time, seq, entry, _ENTRY)`` (cancellable) or
+        #: ``(time, seq, fn, arg)`` (handle-free) tuples.
         self._heap: List[tuple] = []
+        #: Same-cycle FIFO: ``_ScheduledCall`` entries or ``(fn, arg)``
+        #: pairs due at ``self.now``.
+        self._runq: deque = deque()
         self._seq: int = 0
         self._events_executed: int = 0
-        #: Cancelled entries still sitting in the heap (lazy deletion).
+        #: Events that ran off the run queue (fast-path hit counter).
+        self._runq_executed: int = 0
+        #: Cancelled entries still pending in the heap or run queue
+        #: (lazy deletion).
         self._cancelled_pending: int = 0
         #: Times the heap was rebuilt to drop cancelled entries.
         self._compactions: int = 0
         #: Retired entries available for reuse (allocation recycling).
         self._free: List[_ScheduledCall] = []
+        #: False forces every schedule through the heap (set from the
+        #: REPRO_NO_FASTPATH environment variable at construction).
+        self.fastpath: bool = not os.environ.get("REPRO_NO_FASTPATH")
 
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        self._cancelled_pending += 1
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify in one O(n) pass."""
-        # In place: run()'s hot loop holds a reference to the list.
-        self._heap[:] = [item for item in self._heap
-                         if not item[2].cancelled]
-        heapq.heapify(self._heap)
-        self._cancelled_pending = 0
-        self._compactions += 1
-
-    def call_at(self, time: int, fn: Callable[[], None]) -> _ScheduledCall:
-        """Schedule ``fn()`` at absolute ``time`` (>= now)."""
-        if time < self.now:
-            raise SimulationError(
-                f"cannot schedule in the past: {time} < now {self.now}"
-            )
-        self._seq += 1
-        time = int(time)
-        if self._free:
-            entry = self._free.pop()
-            entry.time = time
-            entry.seq = self._seq
-            entry.fn = fn
-            entry.cancelled = False
-        else:
-            entry = _ScheduledCall(time, self._seq, fn, self)
-        cancelled = self._cancelled_pending
+        cancelled = self._cancelled_pending = self._cancelled_pending + 1
+        # Compact on the cancellation that crosses the threshold, not on
+        # every schedule: keeps the check off the scheduling hot path.
         if (cancelled >= _COMPACT_MIN_CANCELLED
                 and cancelled * 2 >= len(self._heap)):
             self._compact()
-        heapq.heappush(self._heap, (time, self._seq, entry))
+
+    def _compact(self) -> None:
+        """Drop cancelled heap entries and re-heapify in one O(n) pass."""
+        # In place: run()'s hot loop holds a reference to the list.
+        self._heap[:] = [
+            item for item in self._heap
+            if item[3] is not _ENTRY or not item[2].cancelled
+        ]
+        heapq.heapify(self._heap)
+        # Cancelled entries may also sit in the run queue (cancelled
+        # after being scheduled for the current cycle); they are still
+        # pending until drained.
+        self._cancelled_pending = sum(
+            1 for item in self._runq
+            if item.__class__ is not tuple and item.cancelled
+        )
+        self._compactions += 1
+
+    def call_at(self, time: int, fn: Callable[..., None],
+                arg: Any = _NO_ARG) -> _ScheduledCall:
+        """Schedule ``fn()`` (or ``fn(arg)``) at absolute ``time``
+        (>= now), returning a cancellable handle."""
+        now = self.now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {now}"
+            )
+        if type(time) is not int:
+            time = int(time)
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry.time = time
+            entry.fn = fn
+            entry.arg = arg
+            entry.cancelled = False
+        else:
+            entry = _ScheduledCall(time, 0, fn, arg, self)
+        if time == now and self.fastpath:
+            self._runq.append(entry)
+        else:
+            self._seq += 1
+            entry.seq = self._seq
+            heapq.heappush(self._heap, (time, self._seq, entry, _ENTRY))
         return entry
 
-    def call_after(self, delay: int, fn: Callable[[], None]) -> _ScheduledCall:
-        """Schedule ``fn()`` after ``delay`` cycles."""
-        return self.call_at(self.now + int(delay), fn)
+    def call_after(self, delay: int, fn: Callable[..., None],
+                   arg: Any = _NO_ARG) -> _ScheduledCall:
+        """Schedule ``fn`` after ``delay`` cycles (cancellable)."""
+        return self.call_at(self.now + delay, fn, arg)
+
+    def schedule(self, time: int, fn: Callable[..., None],
+                 arg: Any = _NO_ARG) -> None:
+        """Schedule ``fn()`` (or ``fn(arg)``) at ``time``, without a
+        cancellation handle — the common-case fast path."""
+        now = self.now
+        if time == now and self.fastpath:
+            self._runq.append((fn, arg))
+            return
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {now}"
+            )
+        if type(time) is not int:
+            time = int(time)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, arg))
+
+    def call_soon(self, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
+        """Run ``fn`` this cycle, after already-pending same-cycle
+        events (handle-free)."""
+        self.schedule(self.now, fn, arg)
 
     def timeout(self, delay: int, event: Event, value: Any = None) -> _ScheduledCall:
         """Trigger ``event`` with ``value`` after ``delay`` cycles."""
-        return self.call_after(delay, lambda: event.trigger(value))
+        return self.call_at(self.now + delay, event.trigger, value)
 
     # ------------------------------------------------------------------
     # Processes
@@ -236,7 +340,7 @@ class Engine:
         proc = Process(self, gen, name)
         # Defer the first step to the event loop so that creation order
         # does not interleave half-started coroutines.
-        self.call_at(self.now, proc._step)
+        self.schedule(self.now, proc._step)
         return proc
 
     # ------------------------------------------------------------------
@@ -253,62 +357,163 @@ class Engine:
         """
         if len(self._free) < _FREELIST_MAX and getrefcount(entry) == 3:
             entry.fn = None  # drop the closure; keeps freelist lean
+            entry.arg = None
             self._free.append(entry)
 
-    def peek_time(self) -> Optional[int]:
-        """Earliest pending event time, or None when the heap is empty."""
+    def _next_live_heap_time(self) -> Optional[int]:
+        """Earliest live heap entry time (pops cancelled heads)."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            entry = heapq.heappop(heap)[2]
+        while heap:
+            item = heap[0]
+            if item[3] is _ENTRY and item[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_pending -= 1
+                self._retire(item[2])
+                continue
+            return item[0]
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Earliest pending event time, or None when nothing is pending."""
+        runq = self._runq
+        while runq:
+            item = runq[0]
+            if item.__class__ is tuple or not item.cancelled:
+                return self.now
+            runq.popleft()
             self._cancelled_pending -= 1
-            self._retire(entry)
-        return heap[0][0] if heap else None
+            self._retire(item)
+        return self._next_live_heap_time()
+
+    def _pop_runq(self):
+        """Next live run-queue callback as ``(fn, arg)``, or None."""
+        runq = self._runq
+        while runq:
+            item = runq.popleft()
+            if item.__class__ is tuple:
+                return item
+            if item.cancelled:
+                self._cancelled_pending -= 1
+                self._retire(item)
+                continue
+            pair = (item.fn, item.arg)
+            self._retire(item)
+            return pair
+        return None
 
     def step(self) -> bool:
         """Run the single earliest event. Returns False if none remain."""
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)[2]
-            if entry.cancelled:
-                self._cancelled_pending -= 1
-                self._retire(entry)
-                continue
-            self.now = entry.time
-            self._events_executed += 1
-            fn = entry.fn
-            self._retire(entry)
+        heap_time = self._next_live_heap_time()
+        if heap_time is None or heap_time > self.now:
+            # No heap entry shares the current cycle: same-cycle run
+            # queue entries are next in global (time, seq) order.
+            pair = self._pop_runq()
+            if pair is not None:
+                fn, arg = pair
+                self._events_executed += 1
+                self._runq_executed += 1
+                if arg is _NO_ARG:
+                    fn()
+                else:
+                    fn(arg)
+                return True
+            if heap_time is None:
+                return False
+        item = heapq.heappop(self._heap)
+        x = item[2]
+        marker = item[3]
+        del item
+        self.now = heap_time
+        self._events_executed += 1
+        if marker is _ENTRY:
+            fn = x.fn
+            arg = x.arg
+            self._retire(x)
+        else:
+            fn = x
+            arg = marker
+        if arg is _NO_ARG:
             fn()
-            return True
-        return False
+        else:
+            fn(arg)
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap is empty, ``until`` cycles, or
+        """Run events until nothing is pending, ``until`` cycles, or
         ``max_events`` events have executed. Returns the final time."""
-        # The hot loop: pop directly instead of the peek/step pair (each
-        # of which rescans the heap top), with bound locals for the heap
-        # and heappop.
+        # The hot loop: pop directly, with bound locals for the heap,
+        # run queue and heappop, retirement inlined, and the optional
+        # bounds folded into always-true comparisons against +inf.
         heap = self._heap
+        runq = self._runq
         heappop = heapq.heappop
+        heappush = heapq.heappush
+        free = self._free
+        refcount = getrefcount
+        stop = _UNBOUNDED if until is None else until
+        budget = _UNBOUNDED if max_events is None else max_events
         executed = 0
-        retire = self._retire
-        while heap:
-            if max_events is not None and executed >= max_events:
-                break
-            entry = heap[0][2]
-            if entry.cancelled:
-                heappop(heap)
-                self._cancelled_pending -= 1
-                retire(entry)
+        while executed < budget:
+            if runq and (not heap or heap[0][0] > self.now):
+                item = runq.popleft()
+                if item.__class__ is tuple:
+                    fn, arg = item
+                else:
+                    if item.cancelled:
+                        self._cancelled_pending -= 1
+                        if len(free) < _FREELIST_MAX and refcount(item) == 2:
+                            item.fn = None
+                            item.arg = None
+                            free.append(item)
+                        continue
+                    fn = item.fn
+                    arg = item.arg
+                    if len(free) < _FREELIST_MAX and refcount(item) == 2:
+                        item.fn = None
+                        item.arg = None
+                        free.append(item)
+                self._events_executed += 1
+                self._runq_executed += 1
+                if arg is _NO_ARG:
+                    fn()
+                else:
+                    fn(arg)
+                executed += 1
                 continue
-            if until is not None and entry.time > until:
+            if not heap:
+                break
+            item = heappop(heap)
+            x = item[2]
+            marker = item[3]
+            if marker is _ENTRY and x.cancelled:
+                self._cancelled_pending -= 1
+                if len(free) < _FREELIST_MAX and refcount(x) == 3:
+                    x.fn = None
+                    x.arg = None
+                    free.append(x)
+                continue
+            t = item[0]
+            if t > stop:
+                heappush(heap, item)
                 self.now = until
-                return self.now
-            heappop(heap)
-            self.now = entry.time
+                return until
+            self.now = t
             self._events_executed += 1
-            fn = entry.fn
-            retire(entry)
-            fn()
+            if marker is _ENTRY:
+                fn = x.fn
+                arg = x.arg
+                del item
+                if len(free) < _FREELIST_MAX and refcount(x) == 2:
+                    x.fn = None
+                    x.arg = None
+                    free.append(x)
+            else:
+                fn = x
+                arg = marker
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
             executed += 1
         if until is not None and self.now < until and self.peek_time() is None:
             self.now = until
@@ -319,14 +524,22 @@ class Engine:
         return self._events_executed
 
     @property
+    def runq_events(self) -> int:
+        """Events that bypassed the heap via the same-cycle run queue."""
+        return self._runq_executed
+
+    @property
     def compactions(self) -> int:
         """Times the heap was rebuilt to shed cancelled entries."""
         return self._compactions
 
     @property
     def pending(self) -> int:
-        """Live (non-cancelled) entries still in the heap."""
-        return len(self._heap) - self._cancelled_pending
+        """Live (non-cancelled) entries still scheduled."""
+        return len(self._heap) + len(self._runq) - self._cancelled_pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine t={self.now} pending={len(self._heap)}>"
+        return (
+            f"<Engine t={self.now} "
+            f"pending={len(self._heap) + len(self._runq)}>"
+        )

@@ -36,13 +36,18 @@ class TestSerialVsParallel:
     def test_jobs_1_and_jobs_4_identical_metrics(self):
         specs = _specs()
         serial = run_specs(specs, jobs=1)
-        parallel = run_specs(specs, jobs=4)
+        # mode="parallel" forces the pool even on a small machine where
+        # auto mode would (correctly) pick serial — this test is about
+        # the pool path itself.
+        info = {}
+        parallel = run_specs(specs, jobs=4, mode="parallel", info=info)
+        assert info["mode"] == "parallel"
         assert _fingerprints(serial) == _fingerprints(parallel)
         assert not any(result.cached for result in parallel)
 
     def test_result_order_matches_spec_order(self):
         specs = _specs()
-        results = run_specs(specs, jobs=4)
+        results = run_specs(specs, jobs=4, mode="parallel")
         for spec, result in zip(specs, results):
             assert result.spec == spec
 
@@ -51,7 +56,7 @@ class TestCacheDeterminism:
     def test_cached_replay_is_bit_identical(self, tmp_path):
         specs = _specs()
         cache = ResultCache(tmp_path / "cache")
-        fresh = run_specs(specs, jobs=4, cache=cache)
+        fresh = run_specs(specs, jobs=4, cache=cache, mode="parallel")
         assert len(cache) == len(specs)
         replay = run_specs(specs, jobs=1, cache=cache)
         assert all(result.cached for result in replay)
@@ -61,7 +66,7 @@ class TestCacheDeterminism:
         specs = _specs()
         cache = ResultCache(tmp_path)
         run_specs(specs[:3], jobs=1, cache=cache)
-        results = run_specs(specs, jobs=2, cache=cache)
+        results = run_specs(specs, jobs=2, cache=cache, mode="parallel")
         assert [result.cached for result in results[:3]] == [True] * 3
         assert not any(result.cached for result in results[3:])
         # And the mixed batch still equals a pure serial run.
