@@ -1,21 +1,27 @@
-"""Gate CI on engine-throughput regressions against the committed baseline.
+"""Gate CI on engine-throughput drift against the committed baseline.
 
 Compares the freshly written ``BENCH_runner.json`` (produced by
 ``benchmarks/perf_smoke.py`` earlier in the same job, overwriting the
 working-tree copy) against the committed baseline read via
-``git show HEAD:BENCH_runner.json``. Fails when fresh engine
-events/second drop more than ``--threshold`` (default 20%) below the
-committed figure.
+``git show HEAD:BENCH_runner.json``. The ratchet is two-sided:
 
-Raw events/s is noisy across runner hardware generations, so the gate
-is deliberately loose (a >20% drop is a real regression, not jitter);
-the tight +25%-improvement acceptance tracking lives in the committed
-numbers themselves.
+* fail when fresh engine events/second drop more than ``--threshold``
+  (default 20%) below the committed figure — a real regression;
+* fail when fresh events/second *beat* the committed figure by more
+  than ``--threshold-up`` (default 20%) — a real improvement that was
+  not recorded. Re-run ``perf_smoke.py`` and commit the refreshed
+  ``BENCH_runner.json`` so the baseline ratchets forward and the
+  regression floor rises with it.
+
+Raw events/s is noisy across runner hardware generations, so both
+sides are deliberately loose (a >20% move is a real change, not
+jitter).
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
-    python benchmarks/check_perf_regression.py [--threshold 0.2]
+    python benchmarks/check_perf_regression.py [--threshold 0.2] \
+        [--threshold-up 0.2]
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ def main(argv=None) -> int:
                         help="fresh smoke report (written by perf_smoke.py)")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max tolerated events/s regression fraction")
+    parser.add_argument("--threshold-up", type=float, default=0.20,
+                        help="max unstamped events/s improvement fraction")
     args = parser.parse_args(argv)
 
     with open(args.fresh, encoding="utf-8") as fh:
@@ -57,12 +65,20 @@ def main(argv=None) -> int:
     fresh_eps = fresh["engine_events"]["events_per_second"]
     base_eps = baseline["engine_events"]["events_per_second"]
     floor = base_eps * (1.0 - args.threshold)
+    ceiling = base_eps * (1.0 + args.threshold_up)
     change = fresh_eps / base_eps - 1.0
     print(f"engine events/s: fresh {fresh_eps:,.0f} vs committed "
           f"{base_eps:,.0f} ({change:+.1%}; floor {floor:,.0f} at "
-          f"-{args.threshold:.0%})")
+          f"-{args.threshold:.0%}, ceiling {ceiling:,.0f} at "
+          f"+{args.threshold_up:.0%})")
     if fresh_eps < floor:
         print("FAIL: engine throughput regressed past the threshold")
+        return 1
+    if fresh_eps > ceiling:
+        print("FAIL: engine throughput beat the committed baseline by "
+              f"more than +{args.threshold_up:.0%} — re-stamp the "
+              "baseline (run perf_smoke.py and commit the refreshed "
+              "BENCH_runner.json) so the ratchet records the win")
         return 1
     print("OK")
     return 0

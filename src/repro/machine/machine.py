@@ -224,24 +224,43 @@ class Machine:
                            limit: Optional[int] = None) -> int:
         """Run until ``job`` finishes (or ``limit`` cycles elapse).
 
-        Raises RuntimeError if the event heap drains with the job
+        Dispatches through the engine's batched :meth:`Engine.run` loop
+        with ``job.done`` wired to :meth:`Engine.stop`, so completion
+        halts the loop right after the finishing event — the same exit
+        point as the old one-``step()``-at-a-time loop, without paying
+        a Python-level call per event.
+
+        Raises RuntimeError if the event queues drain with the job
         unfinished — a deadlocked or wedged application is a bug worth
         failing loudly on.
         """
         if not self._started:
             self.start()
         engine = self.engine
-        while not job.finished:
-            if limit is not None and engine.now >= limit:
-                raise RuntimeError(
-                    f"job {job.name} did not finish within {limit} cycles"
-                )
-            if not engine.step():
-                raise RuntimeError(
-                    f"event heap drained but job {job.name} is unfinished "
-                    "(application deadlock?)"
-                )
-        return engine.now
+        if job.finished:
+            return engine.now
+        if limit is not None and engine.now >= limit:
+            raise RuntimeError(
+                f"job {job.name} did not finish within {limit} cycles"
+            )
+        job.done.subscribe(engine.stop)
+        try:
+            engine.run(until=limit)
+        finally:
+            job.done.unsubscribe(engine.stop)
+        if job.finished:
+            return engine.now
+        # Drained-but-unfinished is checked before the limit: a bounded
+        # run clamps the clock to ``limit`` when it runs dry, so the
+        # clock alone cannot distinguish a deadlock from a timeout.
+        if engine.pending == 0:
+            raise RuntimeError(
+                f"event heap drained but job {job.name} is unfinished "
+                "(application deadlock?)"
+            )
+        raise RuntimeError(
+            f"job {job.name} did not finish within {limit} cycles"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,4 +1,4 @@
-"""The discrete-event engine: clock, event heap and generator processes.
+"""The discrete-event engine: clock, calendar queue and generator processes.
 
 The engine is deliberately small. All simulation behaviour above it is
 expressed either as scheduled callbacks or as *processes* — Python
@@ -16,27 +16,59 @@ Two-case scheduling
 -------------------
 
 The engine itself exploits the paper's two-case idea: the common case
-(a callback that needs no cancellation handle, or one scheduled for the
-*current* cycle) pays for none of the machinery the uncommon case
-needs.
+(a callback that needs no cancellation handle, or one scheduled a small
+constant number of cycles ahead) pays for none of the machinery the
+uncommon case needs.
 
 * :meth:`Engine.schedule` is the fast case — no ``_ScheduledCall``
-  handle is allocated, the heap stores a bare ``(time, seq, fn, arg)``
-  tuple, and there is no freelist or refcount bookkeeping to retire.
+  handle is allocated and there is no freelist or refcount bookkeeping
+  to retire.
 * :meth:`Engine.call_at` is the general case — it returns a cancellable
   handle, at the cost of one (recycled) ``_ScheduledCall`` per call.
-* Callbacks for the current cycle bypass the heap entirely: they go on
-  a same-cycle **run queue** (a plain FIFO) drained whenever no heap
-  entry shares the current timestamp. Because every heap entry at time
-  ``T`` was necessarily scheduled *before* the clock reached ``T``
-  (same-cycle schedules always take the run queue), draining the heap's
-  ``T`` entries first and the run queue second reproduces the global
-  ``(time, seq)`` order exactly — run order is bit-identical to the
-  heap-only engine, just cheaper.
+* Callbacks for the current cycle bypass timed storage entirely: they
+  go on a same-cycle **run queue** (a plain FIFO) drained after the
+  cycle's timed entries.
+
+Calendar queue
+--------------
+
+Timed storage is a classic calendar (bucket) queue keyed on the integer
+cycle clock, not a binary heap. Almost every delay charged by the
+simulator is a small constant from :mod:`repro.core.costs`, so the
+engine keeps a power-of-two ring of per-cycle buckets covering the
+sliding window ``[now, now + window)`` — window sized at import time to
+cover the largest per-message cost constant — and schedules into bucket
+``time & (window - 1)`` in O(1). The rare far-future entry (long
+timeout, scheduler timeslice, page-out) goes to a heap-backed
+**overflow tier** ordered by ``(time, seq)`` tuple comparison.
+
+Ordering is exactly the heap engine's global ``(time, seq)`` FIFO:
+
+* a bucket is only ever populated with entries for one absolute time
+  (everything in the ring lies within one window of ``now``), so
+  bucket append order is schedule order;
+* overflow entries at time ``T`` can only exist while ``T >= now +
+  window``, and direct ring inserts at ``T`` only happen once ``now >
+  T - window`` — strictly later. The overflow tier is pulled into the
+  ring *eagerly at every clock advance* (before any callback at the
+  new ``now`` runs), so pulled entries land in their bucket ahead of
+  any later direct insert, in heap ``(time, seq)`` order. Append order
+  therefore equals global schedule order in every bucket.
+
+``run()`` batch-drains a whole cycle's bucket (then the run queue) in
+one inner loop with attribute lookups hoisted and the four callback
+shapes — Delay-resumed process, bare callable, ``(fn, arg)`` pair,
+cancellable entry — specialized by exact class check. The process
+shape is the hottest (every NI arrival, fabric hop and processor
+resume is a generator resumption), so the unbounded loop sends into
+the generator and re-buckets the next Delay inline, with no wrapper
+frame per event.
 
 Setting ``REPRO_NO_FASTPATH`` in the environment (read at construction
-time) forces every schedule through the heap; the property suite uses
-this to prove the fast paths never change simulation results.
+time) disables the same-cycle run queue: same-cycle schedules then
+append to the live bucket instead, which the drain loop picks up in the
+same order. The property suite uses this to prove the fast paths never
+change simulation results.
 """
 
 from __future__ import annotations
@@ -66,45 +98,66 @@ class _Sentinel:
 
 #: "No argument" marker: ``fn()`` is called instead of ``fn(arg)``.
 _NO_ARG = _Sentinel("no-arg")
-#: Heap-item marker in slot 3: slot 2 holds a cancellable entry.
+#: Overflow-heap marker in slot 3: slot 2 holds a cancellable entry.
 _ENTRY = _Sentinel("entry")
 
 
 class Delay:
-    """Yielded by a process to advance simulated time by ``cycles``."""
+    """Yielded by a process to advance simulated time by ``cycles``.
+
+    Small delays are interned: ``Delay(c)`` for ``0 <= c < 1024``
+    returns a shared immutable instance (the cost-model constants that
+    dominate simulation delays all fall in this range, and a process
+    yields one ``Delay`` per resumption — the allocation is measurable
+    at calendar-queue dispatch speeds). Never mutate ``cycles``.
+    """
 
     __slots__ = ("cycles",)
 
-    def __init__(self, cycles: int) -> None:
+    def __new__(cls, cycles: int) -> "Delay":
+        if cls is Delay and type(cycles) is int and 0 <= cycles < 1024:
+            return _DELAY_CACHE[cycles]
+        self = object.__new__(cls)
         if cycles < 0:
             raise ValueError(f"negative delay: {cycles}")
         self.cycles = cycles if type(cycles) is int else int(cycles)
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Delay({self.cycles})"
 
 
-class _ScheduledCall:
-    """Handle for one scheduled callback; ``cancelled`` makes removal
-    O(1) (lazy deletion).
+def _build_delay_cache() -> List[Delay]:
+    cache = []
+    for cycles in range(1024):
+        delay = object.__new__(Delay)
+        delay.cycles = cycles
+        cache.append(delay)
+    return cache
 
-    The heap itself stores ``(time, seq, entry, _ENTRY)`` tuples so
-    ordering is resolved by C-level tuple comparison — ``seq`` is
-    unique, so the comparison never reaches the entry object (this
-    removed the hottest Python function in whole-machine profiles).
-    Entries keep a back-reference to their engine so cancellation can
-    be counted: when cancelled entries dominate the heap the engine
-    compacts it in one pass instead of paying log-time pops for dead
-    weight.
+
+_DELAY_CACHE = _build_delay_cache()
+
+
+class _ScheduledCall:
+    """Public cancellable handle for one scheduled callback;
+    ``cancelled`` makes removal O(1) (lazy deletion).
+
+    This is *only* a handle: ordering lives in the calendar ring's
+    bucket positions and, for overflow entries, in the heap's
+    ``(time, seq, entry, _ENTRY)`` tuples — ``seq`` is unique, so tuple
+    comparison never reaches the entry object. Entries keep a
+    back-reference to their engine so cancellation can be counted: when
+    cancelled entries dominate the pending set the engine compacts them
+    away in one pass instead of dragging dead weight to its timestamp.
     """
 
-    __slots__ = ("time", "seq", "fn", "arg", "cancelled", "engine")
+    __slots__ = ("time", "fn", "arg", "cancelled", "engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., None],
+    def __init__(self, time: int, fn: Callable[..., None],
                  arg: Any = _NO_ARG,
                  engine: Optional["Engine"] = None) -> None:
         self.time = time
-        self.seq = seq
         self.fn = fn
         self.arg = arg
         self.cancelled = False
@@ -115,9 +168,6 @@ class _ScheduledCall:
             self.cancelled = True
             if self.engine is not None:
                 self.engine._note_cancelled()
-
-    def __lt__(self, other: "_ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
 
 ProcessGen = Generator[Any, Any, Any]
@@ -132,7 +182,8 @@ class Process:
     bugs.
     """
 
-    __slots__ = ("engine", "gen", "name", "done", "_waiting_on")
+    __slots__ = ("engine", "gen", "name", "done", "_waiting_on",
+                 "_bound_step", "_bound_on_event", "_gen_send")
 
     def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
         self.engine = engine
@@ -140,40 +191,77 @@ class Process:
         self.name = name or getattr(gen, "__name__", "process")
         self.done = Event(f"{self.name}.done")
         self._waiting_on: Optional[Event] = None
+        # Bound methods are cached once: every Delay resumption schedules
+        # `_step`, and creating a fresh bound-method object per event is
+        # measurable at calendar-queue speeds.
+        self._bound_step = self._step
+        self._bound_on_event = self._on_event
+        self._gen_send = gen.send
 
     @property
     def finished(self) -> bool:
         return self.done.triggered
 
     def _step(self, send_value: Any = None) -> None:
-        engine = self.engine
         try:
-            target = self.gen.send(send_value)
+            target = self._gen_send(send_value)
         except StopIteration as stop:
             self.done.trigger(stop.value)
             return
-        # Exact-type checks first: Delay/Event/Process are effectively
-        # final in the hot path, and ``type(x) is C`` is markedly cheaper
-        # than isinstance(). The isinstance() fallback keeps subclasses
-        # working. Delay resumption needs no cancellation handle, so it
-        # takes the handle-free schedule() fast case.
+        self._dispatch(target)
+
+    def _dispatch(self, target: Any) -> None:
+        """Suspend on whatever the generator yielded.
+
+        Exact-type checks first: Delay/Event/Process are effectively
+        final in the hot path, and ``type(x) is C`` is markedly cheaper
+        than isinstance(). The isinstance() fallback keeps subclasses
+        working. A Delay resumption needs no cancellation handle: the
+        *process itself* goes into the calendar bucket (or run queue)
+        as the scheduled item, which lets the engine's drain loops
+        resume the generator without a wrapper frame — unless something
+        shadows the engine's scheduling methods, in which case the
+        resume is routed through ``engine.schedule`` so the shadow
+        sees every event (the profiler and benchmark shims rely on
+        that funnel).
+        """
+        engine = self.engine
         cls = target.__class__
         if cls is Delay:
-            engine.schedule(engine.now + target.cycles, self._step)
+            if engine._shadowed:
+                engine.schedule(engine.now + target.cycles, self._bound_step)
+                return
+            cycles = target.cycles
+            if cycles > 0:
+                if cycles < engine._window:
+                    engine._ring[(engine.now + cycles)
+                                 & engine._mask].append(self)
+                    engine._ring_count += 1
+                else:
+                    engine._seq += 1
+                    heapq.heappush(
+                        engine._heap,
+                        (engine.now + cycles, engine._seq, self, _NO_ARG))
+                    engine._overflow_scheduled += 1
+            elif engine.fastpath:
+                engine._runq.append(self)
+            else:
+                engine._ring[engine.now & engine._mask].append(self)
+                engine._ring_count += 1
         elif cls is Event:
             self._waiting_on = target
-            target.subscribe(self._on_event)
+            target.subscribe(self._bound_on_event)
         elif cls is Process:
             self._waiting_on = target.done
-            target.done.subscribe(self._on_event)
+            target.done.subscribe(self._bound_on_event)
         elif isinstance(target, Delay):
-            engine.schedule(engine.now + target.cycles, self._step)
+            engine.schedule(engine.now + target.cycles, self._bound_step)
         elif isinstance(target, Event):
             self._waiting_on = target
-            target.subscribe(self._on_event)
+            target.subscribe(self._bound_on_event)
         elif isinstance(target, Process):
             self._waiting_on = target.done
-            target.done.subscribe(self._on_event)
+            target.done.subscribe(self._bound_on_event)
         else:
             raise SimulationError(
                 f"process {self.name} yielded unsupported {target!r}"
@@ -192,7 +280,7 @@ class Process:
         """
         if self._waiting_on is None:
             return False
-        self._waiting_on.unsubscribe(self._on_event)
+        self._waiting_on.unsubscribe(self._bound_on_event)
         self._waiting_on = None
         return True
 
@@ -205,44 +293,103 @@ class Process:
         return f"<Process {self.name} {state}>"
 
 
-#: Compact the heap when at least this many entries are cancelled *and*
-#: cancellations make up at least half the heap. Small enough to bound
-#: memory under cancellation storms, large enough that compaction never
-#: triggers on ordinary workloads.
+def _window_from_costs() -> int:
+    """Calendar window: smallest power of two (>= 1024) strictly larger
+    than every per-message cost constant in :mod:`repro.core.costs`.
+
+    ``page_out`` and the scheduler timeslice are deliberately excluded:
+    they occur per page-out / per quantum, not per message, and belong
+    on the overflow tier.
+    """
+    from repro.core.costs import BufferedPathCosts, KernelCosts
+
+    longest = max(
+        BufferedPathCosts.insert_with_vmalloc,
+        KernelCosts.context_switch,
+        KernelCosts.mode_transition,
+        KernelCosts.mismatch_entry,
+        KernelCosts.trap_overhead,
+        KernelCosts.hardware_demux,
+        KernelCosts.pinned_retry_delay,
+    )
+    window = 1024
+    while window <= longest:
+        window *= 2
+    return window
+
+
+#: Ring size for every engine unless overridden (4096 with the stock
+#: cost model: one bucket per cycle over [now, now + 4096)).
+_DEFAULT_WINDOW = _window_from_costs()
+
+#: Compact when at least this many entries are cancelled *and*
+#: cancellations make up at least half of everything pending. Small
+#: enough to bound memory under cancellation storms, large enough that
+#: compaction never triggers on ordinary workloads.
 _COMPACT_MIN_CANCELLED = 512
 #: Upper bound on the `_ScheduledCall` free list (allocation reuse).
 _FREELIST_MAX = 1024
 
 #: Sentinel bound for run(until=None, max_events=None): compares greater
-#: than every int, so the hot loop needs no per-event None checks.
+#: than every int, so the bounded loop needs no per-event None checks.
 _UNBOUNDED = float("inf")
 
 
 class Engine:
-    """The global event heap, same-cycle run queue and simulated clock
-    (integer cycles)."""
+    """The calendar queue, same-cycle run queue, overflow heap and
+    simulated clock (integer cycles)."""
 
-    def __init__(self) -> None:
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is None:
+            window = _DEFAULT_WINDOW
+        elif window < 2 or window & (window - 1):
+            raise ValueError(f"window must be a power of two >= 2: {window}")
         self.now: int = 0
-        #: Heap of ``(time, seq, entry, _ENTRY)`` (cancellable) or
+        #: Calendar ring: bucket ``time & _mask`` holds every pending
+        #: entry at ``time`` for ``now <= time < now + window``. Items
+        #: are bare callables, ``(fn, arg)`` pairs or ``_ScheduledCall``
+        #: entries, in schedule order.
+        self._window: int = window
+        self._mask: int = window - 1
+        self._ring: List[list] = [[] for _ in range(window)]
+        #: Total items in the ring (live + lazily-cancelled).
+        self._ring_count: int = 0
+        #: Overflow tier for times >= now + window: heap of
+        #: ``(time, seq, entry, _ENTRY)`` (cancellable) or
         #: ``(time, seq, fn, arg)`` (handle-free) tuples.
         self._heap: List[tuple] = []
-        #: Same-cycle FIFO: ``_ScheduledCall`` entries or ``(fn, arg)``
-        #: pairs due at ``self.now``.
+        #: Same-cycle FIFO: items due at ``self.now``, same encodings as
+        #: a ring bucket.
         self._runq: deque = deque()
+        #: Tie-break for overflow-heap tuples only; the ring needs none.
         self._seq: int = 0
         self._events_executed: int = 0
+        #: Events that ran out of a calendar bucket.
+        self._ring_executed: int = 0
         #: Events that ran off the run queue (fast-path hit counter).
         self._runq_executed: int = 0
-        #: Cancelled entries still pending in the heap or run queue
+        #: Entries that took the overflow heap at schedule time.
+        self._overflow_scheduled: int = 0
+        #: Bucket drains that executed at least one event (batch count).
+        self._cycle_batches: int = 0
+        #: Cancelled entries still pending in ring, heap or run queue
         #: (lazy deletion).
         self._cancelled_pending: int = 0
-        #: Times the heap was rebuilt to drop cancelled entries.
+        #: Times the pending set was swept to drop cancelled entries.
         self._compactions: int = 0
         #: Retired entries available for reuse (allocation recycling).
         self._free: List[_ScheduledCall] = []
-        #: False forces every schedule through the heap (set from the
-        #: REPRO_NO_FASTPATH environment variable at construction).
+        #: Cooperative stop flag: set by :meth:`stop`, cleared by
+        #: :meth:`run`, checked between events (bounded runs) or batches.
+        self._stop: bool = False
+        #: True while something (the profiler, a benchmark shim) has
+        #: shadowed ``call_at``/``schedule`` with instance-attribute
+        #: wrappers: processes then route Delay resumes through
+        #: ``engine.schedule`` instead of the inlined bucket append, so
+        #: the shadow observes every scheduled callback.
+        self._shadowed: bool = False
+        #: False forces same-cycle schedules into the live bucket (set
+        #: from the REPRO_NO_FASTPATH environment variable).
         self.fastpath: bool = not os.environ.get("REPRO_NO_FASTPATH")
 
     # ------------------------------------------------------------------
@@ -253,24 +400,49 @@ class Engine:
         # Compact on the cancellation that crosses the threshold, not on
         # every schedule: keeps the check off the scheduling hot path.
         if (cancelled >= _COMPACT_MIN_CANCELLED
-                and cancelled * 2 >= len(self._heap)):
+                and cancelled * 2 >= (len(self._heap) + self._ring_count
+                                      + len(self._runq))):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled heap entries and re-heapify in one O(n) pass."""
-        # In place: run()'s hot loop holds a reference to the list.
-        self._heap[:] = [
-            item for item in self._heap
-            if item[3] is not _ENTRY or not item[2].cancelled
-        ]
-        heapq.heapify(self._heap)
-        # Cancelled entries may also sit in the run queue (cancelled
-        # after being scheduled for the current cycle); they are still
-        # pending until drained.
-        self._cancelled_pending = sum(
-            1 for item in self._runq
-            if item.__class__ is not tuple and item.cancelled
-        )
+        """Drop cancelled entries from heap, ring and run queue in one
+        O(n) sweep, with exact removal accounting.
+
+        The live bucket (``ring[now & mask]``) is skipped: the drain
+        loop may be mid-iteration over it, and its cancelled items are
+        skipped (and accounted) at drain anyway.
+        """
+        removed = 0
+        # In place: run()'s loops hold references to these containers.
+        heap = self._heap
+        live = [item for item in heap
+                if item[3] is not _ENTRY or not item[2].cancelled]
+        removed += len(heap) - len(live)
+        heap[:] = live
+        heapq.heapify(heap)
+        active = self._ring[self.now & self._mask]
+        for bucket in self._ring:
+            if not bucket or bucket is active:
+                continue
+            kept = [item for item in bucket
+                    if item.__class__ is not _ScheduledCall
+                    or not item.cancelled]
+            dropped = len(bucket) - len(kept)
+            if dropped:
+                bucket[:] = kept
+                self._ring_count -= dropped
+                removed += dropped
+        runq = self._runq
+        if runq:
+            kept = [item for item in runq
+                    if item.__class__ is not _ScheduledCall
+                    or not item.cancelled]
+            dropped = len(runq) - len(kept)
+            if dropped:
+                runq.clear()
+                runq.extend(kept)
+                removed += dropped
+        self._cancelled_pending -= removed
         self._compactions += 1
 
     def call_at(self, time: int, fn: Callable[..., None],
@@ -278,12 +450,12 @@ class Engine:
         """Schedule ``fn()`` (or ``fn(arg)``) at absolute ``time``
         (>= now), returning a cancellable handle."""
         now = self.now
+        if type(time) is not int:
+            time = int(time)
         if time < now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {now}"
             )
-        if type(time) is not int:
-            time = int(time)
         free = self._free
         if free:
             entry = free.pop()
@@ -292,13 +464,20 @@ class Engine:
             entry.arg = arg
             entry.cancelled = False
         else:
-            entry = _ScheduledCall(time, 0, fn, arg, self)
-        if time == now and self.fastpath:
+            entry = _ScheduledCall(time, fn, arg, self)
+        if now < time:
+            if time - now < self._window:
+                self._ring[time & self._mask].append(entry)
+                self._ring_count += 1
+            else:
+                self._seq += 1
+                heapq.heappush(self._heap, (time, self._seq, entry, _ENTRY))
+                self._overflow_scheduled += 1
+        elif self.fastpath:
             self._runq.append(entry)
         else:
-            self._seq += 1
-            entry.seq = self._seq
-            heapq.heappush(self._heap, (time, self._seq, entry, _ENTRY))
+            self._ring[time & self._mask].append(entry)
+            self._ring_count += 1
         return entry
 
     def call_after(self, delay: int, fn: Callable[..., None],
@@ -311,17 +490,28 @@ class Engine:
         """Schedule ``fn()`` (or ``fn(arg)``) at ``time``, without a
         cancellation handle — the common-case fast path."""
         now = self.now
-        if time == now and self.fastpath:
-            self._runq.append((fn, arg))
-            return
-        if time < now:
+        if type(time) is not int:
+            time = int(time)
+        if now < time:
+            if time - now < self._window:
+                self._ring[time & self._mask].append(
+                    fn if arg is _NO_ARG else (fn, arg))
+                self._ring_count += 1
+            else:
+                self._seq += 1
+                heapq.heappush(self._heap, (time, self._seq, fn, arg))
+                self._overflow_scheduled += 1
+        elif time == now:
+            if self.fastpath:
+                self._runq.append(fn if arg is _NO_ARG else (fn, arg))
+            else:
+                self._ring[time & self._mask].append(
+                    fn if arg is _NO_ARG else (fn, arg))
+                self._ring_count += 1
+        else:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {now}"
             )
-        if type(time) is not int:
-            time = int(time)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, arg))
 
     def call_soon(self, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
         """Run ``fn`` this cycle, after already-pending same-cycle
@@ -340,19 +530,20 @@ class Engine:
         proc = Process(self, gen, name)
         # Defer the first step to the event loop so that creation order
         # does not interleave half-started coroutines.
-        self.schedule(self.now, proc._step)
+        self.schedule(self.now, proc._bound_step)
         return proc
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Queue maintenance
     # ------------------------------------------------------------------
     def _retire(self, entry: _ScheduledCall) -> None:
         """Recycle a popped entry if provably unreferenced elsewhere.
 
-        ``getrefcount`` sees exactly two references (the caller's local
-        and the argument binding) when no external holder kept the entry
-        returned from :meth:`call_at`; only then is reuse safe — a stale
-        holder calling ``cancel()`` on a recycled entry would cancel an
+        ``getrefcount`` sees exactly three references (the caller's
+        local, this frame's binding and the getrefcount argument) when
+        no external holder kept the entry returned from
+        :meth:`call_at`; only then is reuse safe — a stale holder
+        calling ``cancel()`` on a recycled entry would cancel an
         unrelated callback.
         """
         if len(self._free) < _FREELIST_MAX and getrefcount(entry) == 3:
@@ -360,8 +551,38 @@ class Engine:
             entry.arg = None
             self._free.append(entry)
 
+    def _pull_overflow(self, horizon: int) -> None:
+        """Move overflow-heap entries with ``time < horizon`` into their
+        ring buckets, in ``(time, seq)`` order.
+
+        Called at every clock advance (and after an ``until`` clamp)
+        with ``horizon = now + window``, *before* any callback at the
+        new ``now`` runs — this eager pull is what makes bucket append
+        order equal global schedule order (see the module docstring's
+        ordering argument).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        ring = self._ring
+        mask = self._mask
+        pulled = 0
+        while heap and heap[0][0] < horizon:
+            time, _seq, x, marker = heappop(heap)
+            if marker is _ENTRY:
+                if x.cancelled:
+                    self._cancelled_pending -= 1
+                    self._retire(x)
+                    continue
+                ring[time & mask].append(x)
+            elif marker is _NO_ARG:
+                ring[time & mask].append(x)
+            else:
+                ring[time & mask].append((x, marker))
+            pulled += 1
+        self._ring_count += pulled
+
     def _next_live_heap_time(self) -> Optional[int]:
-        """Earliest live heap entry time (pops cancelled heads)."""
+        """Earliest live overflow entry time (pops cancelled heads)."""
         heap = self._heap
         while heap:
             item = heap[0]
@@ -373,173 +594,500 @@ class Engine:
             return item[0]
         return None
 
+    def _next_timed_time(self) -> Optional[int]:
+        """Earliest live ring or overflow entry time, cleaning cancelled
+        entries off bucket fronts; ``None`` when nothing timed remains.
+        Does not advance the clock."""
+        if self._ring_count:
+            ring = self._ring
+            mask = self._mask
+            t = self.now
+            limit = t + self._window
+            while t < limit:
+                bucket = ring[t & mask]
+                while bucket:
+                    item = bucket[0]
+                    if (item.__class__ is not _ScheduledCall
+                            or not item.cancelled):
+                        return t
+                    del bucket[0]
+                    self._ring_count -= 1
+                    self._cancelled_pending -= 1
+                    self._retire(item)
+                if not self._ring_count:
+                    break
+                t += 1
+        return self._next_live_heap_time()
+
     def peek_time(self) -> Optional[int]:
         """Earliest pending event time, or None when nothing is pending."""
         runq = self._runq
         while runq:
             item = runq[0]
-            if item.__class__ is tuple or not item.cancelled:
+            if item.__class__ is not _ScheduledCall or not item.cancelled:
                 return self.now
             runq.popleft()
             self._cancelled_pending -= 1
             self._retire(item)
-        return self._next_live_heap_time()
+        return self._next_timed_time()
 
-    def _pop_runq(self):
-        """Next live run-queue callback as ``(fn, arg)``, or None."""
-        runq = self._runq
-        while runq:
-            item = runq.popleft()
-            if item.__class__ is tuple:
-                return item
-            if item.cancelled:
-                self._cancelled_pending -= 1
-                self._retire(item)
-                continue
-            pair = (item.fn, item.arg)
-            self._retire(item)
-            return pair
-        return None
+    def _clamp_to(self, until: int) -> None:
+        """Advance the clock to ``until`` without running anything,
+        restoring the overflow invariant (heap times >= now + window)."""
+        self.now = until
+        heap = self._heap
+        if heap and heap[0][0] < until + self._window:
+            self._pull_overflow(until + self._window)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def stop(self, _value: Any = None) -> None:
+        """Ask :meth:`run` to return after the current event (bounded
+        runs) or bucket batch. The signature accepts one ignored value
+        so ``event.subscribe(engine.stop)`` works directly."""
+        self._stop = True
 
     def step(self) -> bool:
         """Run the single earliest event. Returns False if none remain."""
-        heap_time = self._next_live_heap_time()
-        if heap_time is None or heap_time > self.now:
-            # No heap entry shares the current cycle: same-cycle run
-            # queue entries are next in global (time, seq) order.
-            pair = self._pop_runq()
-            if pair is not None:
-                fn, arg = pair
-                self._events_executed += 1
-                self._runq_executed += 1
-                if arg is _NO_ARG:
-                    fn()
-                else:
-                    fn(arg)
-                return True
-            if heap_time is None:
-                return False
-        item = heapq.heappop(self._heap)
-        x = item[2]
-        marker = item[3]
-        del item
-        self.now = heap_time
-        self._events_executed += 1
-        if marker is _ENTRY:
-            fn = x.fn
-            arg = x.arg
-            self._retire(x)
-        else:
-            fn = x
-            arg = marker
-        if arg is _NO_ARG:
-            fn()
-        else:
-            fn(arg)
-        return True
-
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until nothing is pending, ``until`` cycles, or
-        ``max_events`` events have executed. Returns the final time."""
-        # The hot loop: pop directly, with bound locals for the heap,
-        # run queue and heappop, retirement inlined, and the optional
-        # bounds folded into always-true comparisons against +inf.
-        heap = self._heap
+        bucket = self._ring[self.now & self._mask]
+        while bucket:
+            item = bucket[0]
+            del bucket[0]
+            self._ring_count -= 1
+            cls = item.__class__
+            if cls is _ScheduledCall:
+                if item.cancelled:
+                    self._cancelled_pending -= 1
+                    self._retire(item)
+                    continue
+                fn = item.fn
+                arg = item.arg
+                self._retire(item)
+            elif cls is tuple:
+                fn, arg = item
+            elif cls is Process:
+                fn = item._bound_step
+                arg = _NO_ARG
+            else:
+                fn = item
+                arg = _NO_ARG
+            self._events_executed += 1
+            self._ring_executed += 1
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
+            return True
         runq = self._runq
-        heappop = heapq.heappop
-        heappush = heapq.heappush
+        while runq:
+            item = runq.popleft()
+            cls = item.__class__
+            if cls is _ScheduledCall:
+                if item.cancelled:
+                    self._cancelled_pending -= 1
+                    self._retire(item)
+                    continue
+                fn = item.fn
+                arg = item.arg
+                self._retire(item)
+            elif cls is tuple:
+                fn, arg = item
+            elif cls is Process:
+                fn = item._bound_step
+                arg = _NO_ARG
+            else:
+                fn = item
+                arg = _NO_ARG
+            self._events_executed += 1
+            self._runq_executed += 1
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
+            return True
+        t = self._next_timed_time()
+        if t is None:
+            return False
+        self.now = t
+        heap = self._heap
+        if heap and heap[0][0] < t + self._window:
+            self._pull_overflow(t + self._window)
+        # The target bucket now has a live item at its front (the scan
+        # cleaned cancelled fronts; a heap-sourced advance pulled at
+        # least its own live head), so this recursion executes exactly
+        # one event.
+        return self.step()
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until nothing is pending, ``until`` cycles,
+        ``max_events`` events have executed, or :meth:`stop` is called.
+        Returns the final time."""
+        self._stop = False
+        if until is None and max_events is None:
+            return self._run_fast()
+        return self._run_bounded(until, max_events)
+
+    def _run_fast(self) -> int:
+        """The unbounded hot loop: whole-bucket batches, counters
+        flushed per batch, stop checked per batch."""
+        ring = self._ring
+        mask = self._mask
+        runq = self._runq
+        heap = self._heap
         free = self._free
         refcount = getrefcount
-        stop = _UNBOUNDED if until is None else until
+        window = self._window
+        entry_cls = _ScheduledCall
+        tuple_cls = tuple
+        proc_cls = Process
+        delay_cls = Delay
+        heappush = heapq.heappush
+        no_arg = _NO_ARG
+        cap = _FREELIST_MAX
+        fastpath = self.fastpath
+        now = self.now
+        if heap and heap[0][0] < now + window:
+            self._pull_overflow(now + window)
+        while True:
+            bucket = ring[now & mask]
+            if bucket:
+                cancelled = 0
+                shadowed = self._shadowed
+                # A plain for-loop picks up same-cycle appends made by
+                # the callbacks it runs (general mode schedules at
+                # `now` into this very bucket).
+                for item in bucket:
+                    cls = item.__class__
+                    if cls is proc_cls:
+                        # The hottest shape: a Delay-resumed process.
+                        # Resume the generator and reschedule the next
+                        # Delay right here, skipping the _step frame.
+                        try:
+                            target = item._gen_send(None)
+                        except StopIteration as stop:
+                            item.done.trigger(stop.value)
+                            continue
+                        if target.__class__ is delay_cls and not shadowed:
+                            cycles = target.cycles
+                            if cycles > 0:
+                                if cycles < window:
+                                    ring[(now + cycles) & mask].append(item)
+                                    self._ring_count += 1
+                                else:
+                                    self._seq += 1
+                                    heappush(heap, (now + cycles, self._seq,
+                                                    item, no_arg))
+                                    self._overflow_scheduled += 1
+                            elif fastpath:
+                                runq.append(item)
+                            else:
+                                bucket.append(item)
+                                self._ring_count += 1
+                        else:
+                            item._dispatch(target)
+                    elif cls is tuple_cls:
+                        fn, arg = item
+                        fn(arg)
+                    elif cls is entry_cls:
+                        if item.cancelled:
+                            cancelled += 1
+                            if refcount(item) == 3 and len(free) < cap:
+                                item.fn = None
+                                item.arg = None
+                                free.append(item)
+                            continue
+                        fn = item.fn
+                        arg = item.arg
+                        if refcount(item) == 3 and len(free) < cap:
+                            item.fn = None
+                            item.arg = None
+                            free.append(item)
+                        if arg is no_arg:
+                            fn()
+                        else:
+                            fn(arg)
+                    else:
+                        item()
+                n = len(bucket)
+                del bucket[:]
+                self._ring_count -= n
+                if cancelled:
+                    self._cancelled_pending -= cancelled
+                    n -= cancelled
+                if n:
+                    self._events_executed += n
+                    self._ring_executed += n
+                    self._cycle_batches += 1
+                if self._stop:
+                    return now
+            if runq:
+                executed = 0
+                shadowed = self._shadowed
+                while runq:
+                    item = runq.popleft()
+                    cls = item.__class__
+                    if cls is proc_cls:
+                        executed += 1
+                        try:
+                            target = item._gen_send(None)
+                        except StopIteration as stop:
+                            item.done.trigger(stop.value)
+                            continue
+                        if target.__class__ is delay_cls and not shadowed:
+                            cycles = target.cycles
+                            if cycles > 0:
+                                if cycles < window:
+                                    ring[(now + cycles) & mask].append(item)
+                                    self._ring_count += 1
+                                else:
+                                    self._seq += 1
+                                    heappush(heap, (now + cycles, self._seq,
+                                                    item, no_arg))
+                                    self._overflow_scheduled += 1
+                            else:
+                                # cycles == 0 on the fast path: straight
+                                # back onto the run queue.
+                                runq.append(item)
+                        else:
+                            item._dispatch(target)
+                    elif cls is tuple_cls:
+                        fn, arg = item
+                        executed += 1
+                        fn(arg)
+                    elif cls is entry_cls:
+                        if item.cancelled:
+                            self._cancelled_pending -= 1
+                            if refcount(item) == 2 and len(free) < cap:
+                                item.fn = None
+                                item.arg = None
+                                free.append(item)
+                            continue
+                        fn = item.fn
+                        arg = item.arg
+                        if refcount(item) == 2 and len(free) < cap:
+                            item.fn = None
+                            item.arg = None
+                            free.append(item)
+                        executed += 1
+                        if arg is no_arg:
+                            fn()
+                        else:
+                            fn(arg)
+                    else:
+                        executed += 1
+                        item()
+                if executed:
+                    self._events_executed += executed
+                    self._runq_executed += executed
+                if self._stop:
+                    return now
+            # Advance: nearest nonempty bucket, else the overflow tier.
+            if self._ring_count:
+                t = now + 1
+                end = now + window
+                while not ring[t & mask]:
+                    t += 1
+                    if t == end:
+                        raise SimulationError(
+                            "calendar ring accounting corrupt: "
+                            f"{self._ring_count} items not found in window"
+                        )
+                now = t
+                self.now = t
+                if heap and heap[0][0] < t + window:
+                    self._pull_overflow(t + window)
+            elif heap:
+                t = self._next_live_heap_time()
+                if t is None:
+                    return now
+                now = t
+                self.now = t
+                self._pull_overflow(t + window)
+            else:
+                return now
+
+    def _run_bounded(self, until: Optional[int],
+                     max_events: Optional[int]) -> int:
+        """The bounded loop: per-event budget/stop checks and counter
+        updates (timeline samplers read them mid-run), partial bucket
+        consumption on early exit."""
+        now = self.now
+        if until is not None and until < now:
+            return now
+        ring = self._ring
+        mask = self._mask
+        runq = self._runq
+        heap = self._heap
+        free = self._free
+        refcount = getrefcount
+        window = self._window
+        entry_cls = _ScheduledCall
+        tuple_cls = tuple
+        proc_cls = Process
+        no_arg = _NO_ARG
+        cap = _FREELIST_MAX
+        stop_bound = _UNBOUNDED if until is None else until
         budget = _UNBOUNDED if max_events is None else max_events
         executed = 0
-        while executed < budget:
-            if runq and (not heap or heap[0][0] > self.now):
+        while True:
+            bucket = ring[now & mask]
+            if bucket:
+                i = 0
+                batch = 0
+                while i < len(bucket):
+                    if executed >= budget or self._stop:
+                        break
+                    item = bucket[i]
+                    i += 1
+                    cls = item.__class__
+                    if cls is tuple_cls:
+                        fn, arg = item
+                    elif cls is entry_cls:
+                        if item.cancelled:
+                            self._cancelled_pending -= 1
+                            if refcount(item) == 3 and len(free) < cap:
+                                item.fn = None
+                                item.arg = None
+                                free.append(item)
+                            continue
+                        fn = item.fn
+                        arg = item.arg
+                        if refcount(item) == 3 and len(free) < cap:
+                            item.fn = None
+                            item.arg = None
+                            free.append(item)
+                    elif cls is proc_cls:
+                        fn = item._bound_step
+                        arg = no_arg
+                    else:
+                        fn = item
+                        arg = no_arg
+                    executed += 1
+                    batch += 1
+                    self._events_executed += 1
+                    self._ring_executed += 1
+                    if arg is no_arg:
+                        fn()
+                    else:
+                        fn(arg)
+                del bucket[:i]
+                self._ring_count -= i
+                if batch:
+                    self._cycle_batches += 1
+            while runq:
+                if executed >= budget or self._stop:
+                    break
                 item = runq.popleft()
-                if item.__class__ is tuple:
+                cls = item.__class__
+                if cls is tuple_cls:
                     fn, arg = item
-                else:
+                elif cls is entry_cls:
                     if item.cancelled:
                         self._cancelled_pending -= 1
-                        if len(free) < _FREELIST_MAX and refcount(item) == 2:
+                        if refcount(item) == 2 and len(free) < cap:
                             item.fn = None
                             item.arg = None
                             free.append(item)
                         continue
                     fn = item.fn
                     arg = item.arg
-                    if len(free) < _FREELIST_MAX and refcount(item) == 2:
+                    if refcount(item) == 2 and len(free) < cap:
                         item.fn = None
                         item.arg = None
                         free.append(item)
+                elif cls is proc_cls:
+                    fn = item._bound_step
+                    arg = no_arg
+                else:
+                    fn = item
+                    arg = no_arg
+                executed += 1
                 self._events_executed += 1
                 self._runq_executed += 1
-                if arg is _NO_ARG:
+                if arg is no_arg:
                     fn()
                 else:
                     fn(arg)
-                executed += 1
-                continue
-            if not heap:
-                break
-            item = heappop(heap)
-            x = item[2]
-            marker = item[3]
-            if marker is _ENTRY and x.cancelled:
-                self._cancelled_pending -= 1
-                if len(free) < _FREELIST_MAX and refcount(x) == 3:
-                    x.fn = None
-                    x.arg = None
-                    free.append(x)
-                continue
-            t = item[0]
-            if t > stop:
-                heappush(heap, item)
-                self.now = until
-                return until
-            self.now = t
-            self._events_executed += 1
-            if marker is _ENTRY:
-                fn = x.fn
-                arg = x.arg
-                del item
-                if len(free) < _FREELIST_MAX and refcount(x) == 2:
-                    x.fn = None
-                    x.arg = None
-                    free.append(x)
+            if self._stop:
+                return now
+            if executed >= budget:
+                if (until is not None and now < until
+                        and self.peek_time() is None):
+                    self.now = until
+                    return until
+                return now
+            # Advance: nearest nonempty bucket, else the overflow tier.
+            if self._ring_count:
+                t = now + 1
+                end = now + window
+                while not ring[t & mask]:
+                    t += 1
+                    if t == end:
+                        raise SimulationError(
+                            "calendar ring accounting corrupt: "
+                            f"{self._ring_count} items not found in window"
+                        )
+                if t > stop_bound:
+                    self._clamp_to(until)
+                    return until
+                now = t
+                self.now = t
+                if heap and heap[0][0] < t + window:
+                    self._pull_overflow(t + window)
             else:
-                fn = x
-                arg = marker
-            if arg is _NO_ARG:
-                fn()
-            else:
-                fn(arg)
-            executed += 1
-        if until is not None and self.now < until and self.peek_time() is None:
-            self.now = until
-        return self.now
+                t = self._next_live_heap_time()
+                if t is None:
+                    if until is not None and now < until:
+                        self.now = until
+                        return until
+                    return now
+                if t > stop_bound:
+                    self._clamp_to(until)
+                    return until
+                now = t
+                self.now = t
+                self._pull_overflow(t + window)
 
     @property
     def events_executed(self) -> int:
         return self._events_executed
 
     @property
+    def ring_events(self) -> int:
+        """Events that ran out of a calendar bucket (bucket hits)."""
+        return self._ring_executed
+
+    @property
     def runq_events(self) -> int:
-        """Events that bypassed the heap via the same-cycle run queue."""
+        """Events that bypassed timed storage via the same-cycle run
+        queue."""
         return self._runq_executed
 
     @property
+    def overflow_scheduled(self) -> int:
+        """Entries that landed on the overflow heap at schedule time."""
+        return self._overflow_scheduled
+
+    @property
+    def cycle_batches(self) -> int:
+        """Bucket drains that executed at least one event."""
+        return self._cycle_batches
+
+    @property
     def compactions(self) -> int:
-        """Times the heap was rebuilt to shed cancelled entries."""
+        """Times the pending set was swept to shed cancelled entries."""
         return self._compactions
 
     @property
     def pending(self) -> int:
         """Live (non-cancelled) entries still scheduled."""
-        return len(self._heap) + len(self._runq) - self._cancelled_pending
+        return (len(self._heap) + self._ring_count + len(self._runq)
+                - self._cancelled_pending)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Engine t={self.now} "
-            f"pending={len(self._heap) + len(self._runq)}>"
+            f"pending={len(self._heap) + self._ring_count + len(self._runq)}>"
         )

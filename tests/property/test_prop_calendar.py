@@ -1,0 +1,214 @@
+"""Property tests: calendar-queue engine vs a reference heap engine.
+
+The reference engine below *is* the ordering spec: one binary heap of
+``(time, seq)`` tuples with ``seq`` incremented on every schedule, so
+execution order is exactly global ``(time, seq)`` FIFO. The calendar
+engine's two timed tiers (bucket ring + overflow heap) and same-cycle
+run queue must reproduce that order bit-identically — including
+far-future entries that cross the overflow boundary, entries that
+migrate from the overflow heap into the ring as the window slides,
+and lazy-deleted cancellations — with identical ``events_executed``
+and (for pre-run cancellation storms) ``compactions`` accounting.
+"""
+
+import heapq
+import os
+import random
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.engine as engine_mod
+from repro.sim.engine import Engine
+
+#: Small window so ordinary random delays regularly cross the
+#: ring/overflow boundary.
+WINDOW = 16
+
+
+class _RefHandle:
+    __slots__ = ("fn", "arg", "cancelled", "engine")
+
+    def __init__(self, fn, arg, engine):
+        self.fn = fn
+        self.arg = arg
+        self.cancelled = False
+        self.engine = engine
+
+    def cancel(self):
+        if not self.cancelled:
+            self.cancelled = True
+            self.engine._note_cancelled()
+
+
+class ReferenceEngine:
+    """A deliberately naive single-heap engine: the ordering spec.
+
+    Mirrors the public scheduling API (``call_at``/``call_after``/
+    ``schedule``/``call_soon``/``run``) and the cancellation +
+    compaction accounting rules, with none of the calendar machinery.
+    """
+
+    def __init__(self, compact_min=None):
+        self.now = 0
+        self._heap = []
+        self._seq = 0
+        self._events = 0
+        self._cancelled = 0
+        self.compactions = 0
+        self._compact_min = (engine_mod._COMPACT_MIN_CANCELLED
+                             if compact_min is None else compact_min)
+
+    def _note_cancelled(self):
+        self._cancelled += 1
+        if (self._cancelled >= self._compact_min
+                and self._cancelled * 2 >= len(self._heap)):
+            live = [item for item in self._heap if not item[2].cancelled]
+            removed = len(self._heap) - len(live)
+            self._heap[:] = live
+            heapq.heapify(self._heap)
+            self._cancelled -= removed
+            self.compactions += 1
+
+    def call_at(self, time, fn, arg=engine_mod._NO_ARG):
+        if time < self.now:
+            raise engine_mod.SimulationError("past")
+        handle = _RefHandle(fn, arg, self)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def call_after(self, delay, fn, arg=engine_mod._NO_ARG):
+        return self.call_at(self.now + delay, fn, arg)
+
+    def schedule(self, time, fn, arg=engine_mod._NO_ARG):
+        self.call_at(time, fn, arg)
+
+    def call_soon(self, fn, arg=engine_mod._NO_ARG):
+        self.call_at(self.now, fn, arg)
+
+    def run(self):
+        heap = self._heap
+        no_arg = engine_mod._NO_ARG
+        while heap:
+            time, _seq, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                self._cancelled -= 1
+                continue
+            self.now = time
+            self._events += 1
+            if handle.arg is no_arg:
+                handle.fn()
+            else:
+                handle.fn(handle.arg)
+
+    @property
+    def events_executed(self):
+        return self._events
+
+    @property
+    def pending(self):
+        return len(self._heap) - self._cancelled
+
+
+def _random_program(engine, seed, size):
+    """A seeded self-rescheduling workload mixing every primitive.
+
+    Delays are drawn from three bands: same-cycle, inside the calendar
+    window, and far past it (overflow tier); handles are cancelled at
+    random, including handles for already-pulled overflow entries.
+    """
+    order = []
+    rng = random.Random(seed)
+    handles = deque()
+
+    def work(tag):
+        order.append((engine.now, tag))
+        if len(order) >= size:
+            return
+        for k in range(rng.randrange(3)):
+            band = rng.random()
+            if band < 0.4:
+                delay = rng.randrange(3)
+            elif band < 0.8:
+                delay = rng.randrange(WINDOW * 3)
+            else:
+                delay = rng.randrange(WINDOW * 20, WINDOW * 40)
+            tag2 = f"{tag}.{k}"
+            choice = rng.random()
+            if choice < 0.35:
+                engine.schedule(engine.now + delay, work, tag2)
+            elif choice < 0.45:
+                engine.call_soon(work, tag2)
+            else:
+                handles.append(engine.call_after(delay, work, tag2))
+        if handles and rng.random() < 0.25:
+            handles.rotate(rng.randrange(len(handles)))
+            handles.popleft().cancel()
+
+    for i in range(6):
+        engine.schedule(rng.randrange(3), work, str(i))
+    engine.run()
+    return order, engine.events_executed, engine.pending
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_calendar_matches_reference_heap_order(seed):
+    calendar = _random_program(Engine(window=WINDOW), seed, 400)
+    reference = _random_program(ReferenceEngine(), seed, 400)
+    assert calendar == reference
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_general_mode_matches_reference_heap_order(seed):
+    # Inline env handling: hypothesis reuses one fixture instance
+    # across examples, so monkeypatch is off-limits here.
+    saved = os.environ.get("REPRO_NO_FASTPATH")
+    os.environ["REPRO_NO_FASTPATH"] = "1"
+    try:
+        calendar = _random_program(Engine(window=WINDOW), seed, 400)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_FASTPATH", None)
+        else:
+            os.environ["REPRO_NO_FASTPATH"] = saved
+    reference = _random_program(ReferenceEngine(), seed, 400)
+    assert calendar == reference
+
+
+@given(
+    delays=st.lists(st.integers(min_value=1, max_value=WINDOW * 40),
+                    min_size=1, max_size=200),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_cancellation_storm_compaction_accounting(delays, cancel_mask):
+    """Pre-run cancellation storms compact identically: the trigger
+    rule counts every pending entry the same way in both engines."""
+    fired = {"calendar": [], "reference": []}
+
+    def load(engine, key):
+        handles = [engine.call_after(d, fired[key].append, i)
+                   for i, d in enumerate(delays)]
+        for handle, cancel in zip(handles, cancel_mask):
+            if cancel:
+                handle.cancel()
+        return engine
+
+    saved = engine_mod._COMPACT_MIN_CANCELLED
+    engine_mod._COMPACT_MIN_CANCELLED = 16
+    try:
+        calendar = load(Engine(window=WINDOW), "calendar")
+    finally:
+        engine_mod._COMPACT_MIN_CANCELLED = saved
+    reference = load(ReferenceEngine(compact_min=16), "reference")
+    assert calendar.compactions == reference.compactions
+    assert calendar.pending == reference.pending
+    calendar.run()
+    reference.run()
+    assert fired["calendar"] == fired["reference"]
+    assert calendar.events_executed == reference.events_executed
+    assert calendar.compactions == reference.compactions

@@ -1,12 +1,14 @@
 """Unit tests for the same-cycle run queue and its ordering contract.
 
 The invariant under test: while the clock reads ``T``, every new
-same-cycle schedule joins the run queue, and every heap entry at ``T``
-was necessarily scheduled while ``now < T`` — so draining heap-first,
-run-queue-second reproduces the exact global ``(time, seq)`` order of
-the heap-only engine. ``REPRO_NO_FASTPATH`` forces the heap-only
-behaviour; several tests run both engines over the same program and
-compare execution traces verbatim.
+same-cycle schedule joins the run queue, and every timed (calendar
+bucket or overflow heap) entry at ``T`` was necessarily scheduled while
+``now < T`` — so draining the ``T`` bucket first and the run queue
+second reproduces the exact global ``(time, seq)`` order of a plain
+heap engine. ``REPRO_NO_FASTPATH`` forces the general behaviour
+(same-cycle schedules append to the live bucket instead); several
+tests run both engines over the same program and compare execution
+traces verbatim.
 """
 
 import random
@@ -135,10 +137,14 @@ class TestHeapVsRunQueueOrdering:
         assert engine.fastpath is False
         engine.call_soon(lambda: None)
         engine.call_at(0, lambda: None)
-        assert len(engine._heap) == 2
+        # Same-cycle entries take the live calendar bucket, not the
+        # run queue.
+        assert engine._ring_count == 2
+        assert len(engine._runq) == 0
         engine.run()
         assert engine.runq_events == 0
         assert engine.events_executed == 2
+        assert engine.ring_events == 2
 
     def test_process_first_steps_preserve_creation_order(self, monkeypatch):
         def program(engine):
