@@ -42,6 +42,12 @@ class RunMetrics:
     messages_duplicated: int = 0
     retries: int = 0
     invariant_violations: int = 0
+    # Delivery-discipline accounting (all zero under the default
+    # two-case discipline; defaults keep cached results loadable).
+    pinned_pages_peak: int = 0
+    delivery_fault_traps: int = 0
+    damq_evictions: int = 0
+    damq_peak_occupancy: int = 0
 
 
 def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
@@ -80,6 +86,21 @@ def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
         messages_dropped=machine.fabric.stats.messages_dropped,
         messages_duplicated=machine.fabric.stats.messages_duplicated,
         retries=sum(t.retransmissions for t in machine.transports),
+        pinned_pages_peak=max(
+            node.ni.discipline.stats.pinned_pages_peak
+            for node in machine.nodes
+        ),
+        delivery_fault_traps=sum(
+            node.ni.discipline.stats.fault_traps for node in machine.nodes
+        ),
+        damq_evictions=sum(
+            node.ni.discipline.stats.damq_evictions
+            for node in machine.nodes
+        ),
+        damq_peak_occupancy=max(
+            node.ni.discipline.stats.damq_peak_occupancy
+            for node in machine.nodes
+        ),
     )
 
 
@@ -94,7 +115,8 @@ def mean(metrics: Iterable[RunMetrics]) -> RunMetrics:
         if field.name == "name":
             continue
         values = [getattr(run, field.name) for run in runs]
-        if field.name == "max_buffer_pages":
+        if field.name in ("max_buffer_pages", "pinned_pages_peak",
+                          "damq_peak_occupancy"):
             combined = max(values)
         else:
             combined = sum(values) / count

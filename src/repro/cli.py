@@ -211,6 +211,24 @@ def _cmd_ablations(args) -> None:
     ))
 
 
+def _cmd_delivery(args) -> None:
+    from repro.experiments.ablations import delivery_comparison
+
+    points = delivery_comparison(num_nodes=args.nodes,
+                                 **_runner_kwargs(args))
+    print(render_table(
+        "Delivery disciplines head-to-head (synth-100, overload)",
+        ["discipline", "runtime", "buffered %", "pinned pages",
+         "queue peak", "fault traps", "evictions"],
+        [[p.label, p.metrics.elapsed_cycles,
+          f"{p.metrics.buffered_fraction:.1%}",
+          p.metrics.pinned_pages_peak,
+          p.metrics.damq_peak_occupancy,
+          p.metrics.delivery_fault_traps,
+          p.metrics.damq_evictions] for p in points],
+    ))
+
+
 def _cmd_faultdemo(args) -> None:
     from repro.faults.plan import FaultPlan
     from repro.faults.runner import faulted_spec
@@ -221,6 +239,7 @@ def _cmd_faultdemo(args) -> None:
     spec = faulted_spec(
         num_nodes=args.nodes, messages=args.messages, seed=args.seed,
         faults=canonical, retries=not args.no_retries,
+        delivery=args.delivery,
     )
     result = run_specs([spec], **_runner_kwargs(args))[0]
     metrics = result.require()
@@ -369,6 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(pa)
     pa.set_defaults(fn=_cmd_ablations)
 
+    pd = sub.add_parser(
+        "delivery",
+        help="delivery disciplines head-to-head "
+             "(two-case vs zero-copy rings vs DAMQ)")
+    pd.add_argument("--nodes", type=int, default=4)
+    _add_runner_flags(pd)
+    pd.set_defaults(fn=_cmd_delivery)
+
     pf = sub.add_parser(
         "faultdemo",
         help="reliable messaging over an injected-fault fabric")
@@ -381,6 +408,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable the ack/retry layer (negative "
                          "control: the checker then reports the "
                          "planned losses)")
+    pf.add_argument("--delivery",
+                    choices=("twocase", "zerocopy", "damq"),
+                    default="twocase",
+                    help="NI delivery discipline (see docs/DELIVERY.md)")
     _add_runner_flags(pf)
     pf.set_defaults(fn=_cmd_faultdemo)
 
@@ -420,7 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None,
                     help="restrict to these artifact ids "
                          "(table4 table5 table6 fig7 fig8 fig9 fig10 "
-                         "ablations)")
+                         "ablations delivery_headtohead)")
     pr.add_argument("--goldens", metavar="FILE", default=None,
                     help="goldens file (default: goldens/paper.json)")
     pr.add_argument("--out", metavar="DIR", default=None,

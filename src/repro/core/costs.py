@@ -202,6 +202,15 @@ class KernelCosts:
     #: Memory-based baseline: how long the hardware waits before
     #: retrying delivery into a full pinned queue.
     pinned_retry_delay: int = 500
+    #: Zero-copy discipline: taking the protection-fault trap that
+    #: redirects a delivery off the pinned receive ring onto the
+    #: buffered path (charged once per kernel drain under zerocopy;
+    #: never on the default two-case paths).
+    zerocopy_fault_trap: int = 300
+    #: DAMQ discipline: scanning the per-source lists to pick an
+    #: eviction victim under occupancy pressure (charged by the
+    #: mismatch drain the eviction triggers; never under two-case).
+    damq_evict_scan: int = 40
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,11 @@ class TransitionReason(enum.Enum):
     PAGE_FAULT = "page-fault"           # handler faulted
     QUANTUM_EXPIRY = "quantum-expiry"   # descheduled mid-atomic-section
     EXPLICIT = "explicit"               # forced by an experiment
+    # Alternative delivery disciplines (see repro.ni.delivery): these
+    # reasons are legal only under their own discipline — the
+    # invariant checker's legality table is keyed by delivery kind.
+    ZEROCOPY_FAULT = "zerocopy-fault"   # receive ring overflowed
+    QUEUE_PRESSURE = "queue-pressure"   # DAMQ occupancy-pressure evict
 
 
 @dataclass

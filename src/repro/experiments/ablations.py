@@ -300,3 +300,54 @@ def queue_depth_ablation(depths: Sequence[int] = (1, 2, 8),
         for depth in depths
     ]
     return _points(specs, labels, jobs, cache)
+
+
+# ----------------------------------------------------------------------
+# Delivery disciplines: two-case vs zero-copy rings vs DAMQ
+# ----------------------------------------------------------------------
+def execute_delivery(label: str, num_nodes: int = 4):
+    """Runner executor (kind ``ablate_delivery``).
+
+    The same overloading synth workload as the queue-depth study
+    (t_betw=50 against a ~290-cycle handler keeps the consumer behind
+    the senders), under each delivery discipline. The ring and pool are
+    sized small so the pressure paths — zerocopy's protection-fault
+    fallback, damq's occupancy eviction — actually fire.
+    """
+    if label == "twocase":
+        config = SimulationConfig(num_nodes=num_nodes)
+    elif label == "zerocopy":
+        config = SimulationConfig(num_nodes=num_nodes,
+                                  delivery="zerocopy",
+                                  zerocopy_ring_words=64)
+    elif label == "damq":
+        config = SimulationConfig(num_nodes=num_nodes,
+                                  delivery="damq", damq_capacity=4)
+    else:
+        raise ValueError(f"unknown delivery label {label!r}")
+    app = SynthApplication(group_size=100, t_betw=50,
+                           total_messages_per_node=800,
+                           num_nodes=num_nodes, seed=1)
+    machine, job = _run(config, app)
+    metrics = collect_metrics(machine, job)
+    stats = [node.ni.discipline.stats for node in machine.nodes]
+    extra = {
+        "zerocopy_fallbacks": sum(s.fallbacks for s in stats),
+        "damq_share_refusals": sum(s.damq_share_refusals for s in stats),
+        "sender_blocks": machine.fabric.stats.sender_blocks,
+    }
+    return metrics, extra
+
+
+def delivery_comparison(num_nodes: int = 4,
+                        jobs: Optional[int] = None,
+                        cache: Optional[ResultCache] = None,
+                        ) -> List[AblationPoint]:
+    """Head-to-head: the paper's two-case discipline vs the competing
+    zero-copy-ring and DAMQ input-queue organizations."""
+    labels = ["twocase", "zerocopy", "damq"]
+    specs = [
+        RunSpec.make("ablate_delivery", label=label, num_nodes=num_nodes)
+        for label in labels
+    ]
+    return _points(specs, labels, jobs, cache)

@@ -15,6 +15,7 @@ from repro.core.atomicity import TimeoutPolicy
 from repro.core.costs import AtomicityMode, CostModel
 from repro.core.two_case import DeliveryArchitecture
 from repro.glaze.overflow import OverflowPolicy
+from repro.ni.delivery import DELIVERY_KINDS
 from repro.ni.interface import NiConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -48,6 +49,15 @@ class SimulationConfig:
     ni_input_queue: int = 2
     #: Atomicity-timer preset; a free parameter per Section 4.1.
     atomicity_timeout: int = 5_000
+    #: Input delivery discipline: the paper's ``twocase`` hardware queue
+    #: (default), ``zerocopy`` pinned receive rings with protection-fault
+    #: fallback, or a ``damq`` dynamically partitioned shared queue.
+    #: See :mod:`repro.ni.delivery` and docs/DELIVERY.md.
+    delivery: str = "twocase"
+    #: Zero-copy receive-ring capacity per node, in words.
+    zerocopy_ring_words: int = 512
+    #: DAMQ shared-pool capacity per node, in messages.
+    damq_capacity: int = 16
     #: What a timer expiry does: the paper's revocation-to-buffering, or
     #: the optional Polling-Watchdog acceleration (Section 2).
     timeout_policy: TimeoutPolicy = TimeoutPolicy.REVOKE
@@ -87,6 +97,15 @@ class SimulationConfig:
             raise ValueError("timeslice must be positive")
         if self.skew_fraction < 0:
             raise ValueError("skew fraction cannot be negative")
+        if self.delivery not in DELIVERY_KINDS:
+            raise ValueError(
+                f"unknown delivery discipline {self.delivery!r}; "
+                f"expected one of {DELIVERY_KINDS}"
+            )
+        if self.zerocopy_ring_words < 1:
+            raise ValueError("zerocopy ring needs at least one word")
+        if self.damq_capacity < 1:
+            raise ValueError("DAMQ pool needs at least one slot")
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -98,9 +117,21 @@ class SimulationConfig:
         return model
 
     def ni_config(self) -> NiConfig:
+        # The alternative disciplines replace the fixed hardware queue
+        # outright: under zerocopy the ring's word budget is the true
+        # admission limit (the message-count capacity merely bounds the
+        # deque), under damq the shared pool's slot count is the limit.
+        capacity = self.ni_input_queue
+        if self.delivery == "zerocopy":
+            capacity = self.zerocopy_ring_words
+        elif self.delivery == "damq":
+            capacity = self.damq_capacity
         return NiConfig(
-            input_queue_capacity=self.ni_input_queue,
+            input_queue_capacity=capacity,
             atomicity_timeout=self.atomicity_timeout,
+            delivery=self.delivery,
+            zerocopy_ring_words=self.zerocopy_ring_words,
+            page_size_words=self.page_size_words,
         )
 
     def with_skew(self, skew_fraction: float) -> "SimulationConfig":

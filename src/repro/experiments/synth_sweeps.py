@@ -43,35 +43,45 @@ SYNTH_SKEW = 0.01
 def execute_synth(group_size: int, t_betw: int, seed: int = 1,
                   buffer_cost_extra: int = 0,
                   messages_per_node: int = 2000,
-                  timeslice: int = 500_000):
+                  timeslice: int = 500_000,
+                  delivery: str = "twocase"):
     """Runner executor for one synth-N run (kind ``synth``)."""
     metrics = run_synth(group_size, t_betw, seed=seed,
                         buffer_cost_extra=buffer_cost_extra,
                         messages_per_node=messages_per_node,
-                        timeslice=timeslice)
+                        timeslice=timeslice, delivery=delivery)
     return metrics, {}
 
 
 def synth_spec(group_size: int, t_betw: int, seed: int = 1,
                buffer_cost_extra: int = 0,
                messages_per_node: int = 2000,
-               timeslice: int = 500_000) -> RunSpec:
-    """The :class:`RunSpec` describing one synth-N run."""
-    return RunSpec.make(
-        "synth", group_size=group_size, t_betw=t_betw, seed=seed,
-        buffer_cost_extra=buffer_cost_extra,
-        messages_per_node=messages_per_node, timeslice=timeslice,
-    )
+               timeslice: int = 500_000,
+               delivery: str = "twocase") -> RunSpec:
+    """The :class:`RunSpec` describing one synth-N run.
+
+    The delivery discipline joins the spec only when non-default, so
+    pre-existing two-case cache entries stay valid.
+    """
+    params = dict(group_size=group_size, t_betw=t_betw, seed=seed,
+                  buffer_cost_extra=buffer_cost_extra,
+                  messages_per_node=messages_per_node,
+                  timeslice=timeslice)
+    if delivery != "twocase":
+        params["delivery"] = delivery
+    return RunSpec.make("synth", **params)
 
 
 def run_synth(group_size: int, t_betw: int, seed: int = 1,
               buffer_cost_extra: int = 0,
               messages_per_node: int = 2000,
-              timeslice: int = 500_000) -> RunMetrics:
+              timeslice: int = 500_000,
+              delivery: str = "twocase") -> RunMetrics:
     """One synth-N run multiprogrammed against null at 1% skew."""
     config = SimulationConfig(
         num_nodes=SYNTH_NODES, seed=seed, skew_fraction=SYNTH_SKEW,
         timeslice=timeslice, buffer_insert_extra=buffer_cost_extra,
+        delivery=delivery,
     )
     machine = Machine(config)
     app = SynthApplication(

@@ -66,7 +66,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: The one legal cause for *leaving* buffered mode.
 EXIT_REASON = "drained"
 
-_LEGAL_ENTER_REASONS = {reason.value for reason in TransitionReason}
+#: Reasons any delivery discipline may enter buffered mode for.
+_BASE_ENTER_REASONS = frozenset({
+    TransitionReason.GID_MISMATCH.value,
+    TransitionReason.QUANTUM_START.value,
+    TransitionReason.ATOMICITY_TIMEOUT.value,
+    TransitionReason.PAGE_FAULT.value,
+    TransitionReason.QUANTUM_EXPIRY.value,
+    TransitionReason.EXPLICIT.value,
+})
+
+#: Legal buffered-mode entry reasons, keyed by delivery discipline.
+#: Discipline-specific reasons are legal only under their own
+#: discipline: a ``zerocopy-fault`` under ``twocase`` (say) would mean
+#: a discipline hook fired on a machine that never constructed it.
+LEGAL_ENTER_REASONS: Dict[str, frozenset] = {
+    "twocase": _BASE_ENTER_REASONS,
+    "zerocopy": _BASE_ENTER_REASONS
+    | {TransitionReason.ZEROCOPY_FAULT.value},
+    "damq": _BASE_ENTER_REASONS
+    | {TransitionReason.QUEUE_PRESSURE.value},
+}
 
 
 @dataclass(frozen=True)
@@ -230,17 +250,19 @@ class DeliveryInvariantChecker:
     # ------------------------------------------------------------------
     def _check_mode_transitions(self, violations: List[Violation]) -> None:
         tracer = self.machine.tracer
+        delivery = getattr(self.machine.config, "delivery", "twocase")
+        legal = LEGAL_ENTER_REASONS.get(delivery, _BASE_ENTER_REASONS)
         in_buffered: Dict[Tuple[int, int], bool] = {}
         for record in tracer.mode_records:
             key = (record.node, record.gid)
             currently = in_buffered.get(key, False)
             if record.entered:
-                if record.reason not in _LEGAL_ENTER_REASONS:
+                if record.reason not in legal:
                     violations.append(Violation(
                         "mode-reason",
                         f"node {record.node} gid {record.gid}: entered "
-                        f"buffered mode for unknown cause "
-                        f"{record.reason!r}",
+                        f"buffered mode for cause {record.reason!r}, "
+                        f"illegal under delivery={delivery!r}",
                     ))
                 if currently:
                     violations.append(Violation(

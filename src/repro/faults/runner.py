@@ -87,6 +87,7 @@ class ReliableAllPairs(Application):
 def run_faulted(num_nodes: int = 4, messages: int = 8, seed: int = 7,
                 faults: str = "", retries: bool = True,
                 retry_timeout: int = 4_000, max_retries: int = 20,
+                delivery: str = "twocase",
                 ) -> Tuple[RunMetrics, ReliableTransport,
                            List[Violation], Machine]:
     """One faulted reliable-messaging run, invariants checked.
@@ -95,8 +96,8 @@ def run_faulted(num_nodes: int = 4, messages: int = 8, seed: int = 7,
     dig into the ledgers; :func:`execute_faulted` is the pure-data
     wrapper the runner uses.
     """
-    config = SimulationConfig(num_nodes=num_nodes,
-                              seed=seed).with_faults(faults or None)
+    config = SimulationConfig(num_nodes=num_nodes, seed=seed,
+                              delivery=delivery).with_faults(faults or None)
     machine = Machine(config)
     transport = ReliableTransport(num_nodes, retry_timeout=retry_timeout,
                                   max_retries=max_retries,
@@ -117,12 +118,13 @@ def run_faulted(num_nodes: int = 4, messages: int = 8, seed: int = 7,
 
 def execute_faulted(num_nodes: int = 4, messages: int = 8, seed: int = 7,
                     faults: str = "", retries: bool = True,
-                    retry_timeout: int = 4_000, max_retries: int = 20):
+                    retry_timeout: int = 4_000, max_retries: int = 20,
+                    delivery: str = "twocase"):
     """Runner executor for one faulted run (kind ``faulted``)."""
     metrics, transport, violations, _machine = run_faulted(
         num_nodes=num_nodes, messages=messages, seed=seed, faults=faults,
         retries=retries, retry_timeout=retry_timeout,
-        max_retries=max_retries,
+        max_retries=max_retries, delivery=delivery,
     )
     # ``extra`` must be cross-process deterministic: violation *codes*
     # always are; full details are included only for transport-level
@@ -143,17 +145,21 @@ def execute_faulted(num_nodes: int = 4, messages: int = 8, seed: int = 7,
 
 def faulted_spec(num_nodes: int = 4, messages: int = 8, seed: int = 7,
                  faults: str = "", retries: bool = True,
-                 retry_timeout: int = 4_000,
-                 max_retries: int = 20) -> RunSpec:
+                 retry_timeout: int = 4_000, max_retries: int = 20,
+                 delivery: str = "twocase") -> RunSpec:
     """The :class:`RunSpec` describing one faulted run.
 
     The fault plan rides in the spec as its canonical compact string,
     so two runs differing only in faults hash to different cache keys.
+    The delivery discipline joins the spec only when non-default, so
+    pre-existing cache entries for two-case runs stay valid.
     """
-    return RunSpec.make("faulted", num_nodes=num_nodes, messages=messages,
-                        seed=seed, faults=faults, retries=retries,
-                        retry_timeout=retry_timeout,
-                        max_retries=max_retries)
+    params = dict(num_nodes=num_nodes, messages=messages, seed=seed,
+                  faults=faults, retries=retries,
+                  retry_timeout=retry_timeout, max_retries=max_retries)
+    if delivery != "twocase":
+        params["delivery"] = delivery
+    return RunSpec.make("faulted", **params)
 
 
 __all__ = ["ReliableAllPairs", "run_faulted", "execute_faulted",

@@ -78,6 +78,7 @@ class NodeKernel:
         self.in_transit: Optional[Message] = None
 
         ni = node.ni
+        ni.discipline.bind(self)
         ni.deliver_mismatch_available = self._raise_mismatch
         ni.deliver_atomicity_timeout = self._raise_timeout
         ni.deliver_message_available = self._raise_message_available
@@ -193,6 +194,13 @@ class NodeKernel:
         self.stats.mismatch_services += 1
         yield Compute(self.costs.kernel.mismatch_entry)
         ni = self.ni
+        # Discipline surcharge: zerocopy charges the protection-fault
+        # trap that redirected delivery here, damq the eviction scan.
+        # The default discipline returns 0 and the yield is skipped, so
+        # the two-case path stays byte-identical.
+        extra = ni.discipline.kernel_drain_cost(self.costs)
+        if extra:
+            yield Compute(extra)
         while ni.mismatch_pending:
             head = ni.head
             if not head.is_kernel:

@@ -15,6 +15,10 @@ from repro.ni.registers import RegisterFile
 from repro.ni.timer import AtomicityTimer
 from repro.ni.gid import GidAuthority
 from repro.ni.dma import DmaEngine
+from repro.ni.delivery import (DELIVERY_KINDS, DamqDiscipline,
+                               DeliveryDiscipline, DeliveryStats,
+                               TwoCaseDiscipline, ZeroCopyDiscipline,
+                               make_discipline)
 from repro.ni.interface import NetworkInterface, NiConfig
 
 __all__ = [
@@ -28,4 +32,11 @@ __all__ = [
     "DmaEngine",
     "NetworkInterface",
     "NiConfig",
+    "DELIVERY_KINDS",
+    "DamqDiscipline",
+    "DeliveryDiscipline",
+    "DeliveryStats",
+    "TwoCaseDiscipline",
+    "ZeroCopyDiscipline",
+    "make_discipline",
 ]

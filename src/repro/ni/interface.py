@@ -32,6 +32,7 @@ from typing import Callable, Deque, Optional
 from repro.sim.engine import Engine
 from repro.network.fabric import NetworkFabric
 from repro.network.message import KERNEL_GID, Message
+from repro.ni.delivery import make_discipline
 from repro.ni.registers import RegisterFile
 from repro.ni.timer import AtomicityTimer
 from repro.ni.traps import Trap, TrapSignal
@@ -45,10 +46,20 @@ class NiConfig:
     #: Hardware input queue depth, in messages. The paper stresses the
     #: hardware cost is "a small, single message queue"; the default of
     #: 2 models the arriving-message landing register plus the window.
+    #: Under ``delivery="zerocopy"`` the receive ring *is* the input
+    #: structure (capacity = ring words); under ``delivery="damq"`` the
+    #: shared pool replaces the fixed queue (capacity = pool slots).
     input_queue_capacity: int = 2
     #: Atomicity-timer preset, in cycles. "The exact timeout value is a
     #: free parameter that may be changed without affecting correctness."
     atomicity_timeout: int = 5000
+    #: Which delivery discipline governs the input structure (see
+    #: :mod:`repro.ni.delivery` and docs/DELIVERY.md).
+    delivery: str = "twocase"
+    #: Zero-copy receive-ring capacity, in words.
+    zerocopy_ring_words: int = 512
+    #: Page size used for the pinned-footprint accounting.
+    page_size_words: int = 1024
 
 
 @dataclass
@@ -86,6 +97,10 @@ class NetworkInterface:
         )
         self.stats = NiStats()
         self._input: Deque[Message] = deque()
+        #: Delivery discipline governing the input structure. The default
+        #: two-case discipline is a pure no-op; the alternatives shape
+        #: admission and disable the fast path (see repro.ni.delivery).
+        self.discipline = make_discipline(self.config, self)
 
         # Delivery hooks, wired by the kernel and the UDM runtime.
         self.deliver_message_available: Optional[Callable[[], None]] = None
@@ -110,7 +125,9 @@ class NetworkInterface:
         # flow — so `network_deliver` can trust it without re-deriving
         # the trap conditions per message.
         self._fast_base = (
-            engine.fastpath and self.config.input_queue_capacity >= 1
+            engine.fastpath
+            and self.config.input_queue_capacity >= 1
+            and self.discipline.allows_fastpath
         )
         self._fast_ok = False
 
@@ -143,6 +160,7 @@ class NetworkInterface:
         self._fast_base = (
             self.engine.fastpath
             and self.config.input_queue_capacity >= 1
+            and self.discipline.allows_fastpath
             and self._obs is None
             and self._fault_injector is None
         )
@@ -219,7 +237,15 @@ class NetworkInterface:
             return True
         if self._stalled_until > self.engine.now:
             return False
-        if len(self._input) >= self.config.input_queue_capacity:
+        discipline = self.discipline
+        if discipline.shapes_admission:
+            # Alternative disciplines own the admission decision: the
+            # zerocopy ring accounts in words (and diverts to buffered
+            # mode instead of refusing), the DAMQ enforces per-source
+            # share limits and triggers occupancy-pressure eviction.
+            if not discipline.admit(self, message):
+                return False
+        elif len(self._input) >= self.config.input_queue_capacity:
             return False
         if self._fault_injector is not None:
             cycles = self._fault_injector.ni_stall_cycles(self.node_id)
@@ -231,6 +257,8 @@ class NetworkInterface:
                 self.engine.call_after(cycles, self._stall_over)
                 return False
         self._input.append(message)
+        if discipline.shapes_admission:
+            discipline.on_accept(message)
         self.stats.general_deliveries += 1
         if len(self._input) > self.stats.max_input_queue:
             self.stats.max_input_queue = len(self._input)
@@ -320,6 +348,8 @@ class NetworkInterface:
             raise TrapSignal(Trap.BAD_DISPOSE,
                              {"reason": "kernel dispose on empty queue"})
         message = self._input.popleft()
+        if self.discipline.shapes_admission:
+            self.discipline.on_dispose(message)
         if privileged:
             self.stats.delivered_to_kernel += 1
         else:

@@ -94,6 +94,9 @@ class Observatory:
             "ni.upcalls", "ni.mismatch_interrupts",
             "ni.atomicity_timeouts", "ni.input_stalls",
             "ni.forced_timeouts",
+            "delivery.zerocopy_accepts", "delivery.fault_traps",
+            "delivery.fallbacks", "delivery.damq_admits",
+            "delivery.damq_evictions", "delivery.damq_share_refusals",
             "kernel.mismatch_services", "kernel.messages_inserted",
             "kernel.insert_cycles", "kernel.vmalloc_inserts",
             "kernel.dropped_unknown_gid", "kernel.revocations",
@@ -117,6 +120,7 @@ class Observatory:
             "engine.pending",
             "fabric.max_backlog", "fabric.mean_latency",
             "ni.max_input_queue",
+            "delivery.pinned_pages_peak", "delivery.damq_peak_occupancy",
             "buffering.max_pages", "buffering.max_queued_messages",
             "two_case.buffered_fraction",
         ):
@@ -207,6 +211,26 @@ class Observatory:
               sum(n.ni.stats.forced_timeouts for n in nodes))
         gauge("ni.max_input_queue",
               max((n.ni.stats.max_input_queue for n in nodes), default=0))
+
+        # Delivery-discipline accounting: all zero under the default
+        # two-case discipline, authoritative under zerocopy/damq.
+        deliveries = [n.ni.discipline.stats for n in nodes]
+        total("delivery.zerocopy_accepts",
+              sum(d.zerocopy_accepts for d in deliveries))
+        total("delivery.fault_traps",
+              sum(d.fault_traps for d in deliveries))
+        total("delivery.fallbacks",
+              sum(d.fallbacks for d in deliveries))
+        total("delivery.damq_admits",
+              sum(d.damq_admits for d in deliveries))
+        total("delivery.damq_evictions",
+              sum(d.damq_evictions for d in deliveries))
+        total("delivery.damq_share_refusals",
+              sum(d.damq_share_refusals for d in deliveries))
+        gauge("delivery.pinned_pages_peak",
+              max((d.pinned_pages_peak for d in deliveries), default=0))
+        gauge("delivery.damq_peak_occupancy",
+              max((d.damq_peak_occupancy for d in deliveries), default=0))
 
         kernel_fields = (
             "mismatch_services", "messages_inserted", "insert_cycles",

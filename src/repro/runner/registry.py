@@ -34,6 +34,7 @@ EXECUTORS: Dict[str, str] = {
     "ablate_architecture":
         "repro.experiments.ablations:execute_architecture",
     "ablate_bulk": "repro.experiments.ablations:execute_bulk",
+    "ablate_delivery": "repro.experiments.ablations:execute_delivery",
     "faulted": "repro.faults.runner:execute_faulted",
 }
 

@@ -219,6 +219,22 @@ def _tables_ablations(doc: Dict[str, Any]) -> List[Table]:
     return tables
 
 
+def _tables_delivery(doc: Dict[str, Any]) -> List[Table]:
+    return [(
+        "Delivery disciplines head-to-head "
+        f"(zerocopy {doc['zerocopy_rel_runtime']:.2f}x, "
+        f"damq {doc['damq_rel_runtime']:.2f}x vs two-case)",
+        ["discipline", "runtime (cycles)", "% buffered", "pinned pages",
+         "queue peak", "fault traps", "evictions"],
+        [[r["label"], format_count(int(r["runtime"])),
+          _f(r["buffered_pct"], 1), format_count(int(r["pinned_pages"])),
+          format_count(int(r["queue_peak"])),
+          format_count(int(r["fault_traps"])),
+          format_count(int(r["evictions"]))]
+         for r in doc["rows"]],
+    )]
+
+
 # ----------------------------------------------------------------------
 # Per-artifact plots
 # ----------------------------------------------------------------------
@@ -253,6 +269,7 @@ _TABLE_BUILDERS = {
     "fig9": _tables_fig9,
     "fig10": _tables_fig10,
     "ablations": _tables_ablations,
+    "delivery_headtohead": _tables_delivery,
 }
 
 _PLOT_BUILDERS = {
