@@ -48,6 +48,18 @@ class RunMetrics:
     delivery_fault_traps: int = 0
     damq_evictions: int = 0
     damq_peak_occupancy: int = 0
+    # Mailbox-workload accounting (see repro.apps.mailbox; all zero
+    # for jobs without a registered mailbox service, and the defaults
+    # keep cached results from older runs loadable).
+    mailbox_enqueued: int = 0
+    mailbox_retrieved: int = 0
+    mailbox_overflow_drops: int = 0
+    mailbox_dup_suppressed: int = 0
+    mailbox_occupancy_peak: int = 0
+    mailbox_active_flows_peak: int = 0
+    mailbox_replays: int = 0
+    mailbox_crash_losses: int = 0
+    retrieval_latency_mean: float = 0.0
 
 
 def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
@@ -101,6 +113,31 @@ def collect_metrics(machine: Machine, job: Job) -> RunMetrics:
             node.ni.discipline.stats.damq_peak_occupancy
             for node in machine.nodes
         ),
+        **_mailbox_metrics(machine),
+    )
+
+
+def _mailbox_metrics(machine: Machine) -> dict:
+    """Mailbox-service metric fields, summed over registered services
+    (peaks are maxed). Machines without mailboxes get all zeros."""
+    services = getattr(machine, "mailboxes", ())
+    if not services:
+        return {}
+    stats = [service.stats for service in services]
+    total = sum(s.latency_count for s in stats)
+    weighted = sum(s.latency_total for s in stats)
+    return dict(
+        mailbox_enqueued=sum(s.enqueued for s in stats),
+        mailbox_retrieved=sum(s.retrieved for s in stats),
+        mailbox_overflow_drops=sum(s.overflow_drops for s in stats),
+        mailbox_dup_suppressed=sum(s.duplicates_suppressed
+                                   for s in stats),
+        mailbox_occupancy_peak=max(s.occupancy_peak for s in stats),
+        mailbox_active_flows_peak=max(s.active_flows_peak
+                                      for s in stats),
+        mailbox_replays=sum(s.replays for s in stats),
+        mailbox_crash_losses=sum(s.crash_losses for s in stats),
+        retrieval_latency_mean=(weighted / total) if total else 0.0,
     )
 
 
@@ -116,7 +153,9 @@ def mean(metrics: Iterable[RunMetrics]) -> RunMetrics:
             continue
         values = [getattr(run, field.name) for run in runs]
         if field.name in ("max_buffer_pages", "pinned_pages_peak",
-                          "damq_peak_occupancy"):
+                          "damq_peak_occupancy",
+                          "mailbox_occupancy_peak",
+                          "mailbox_active_flows_peak"):
             combined = max(values)
         else:
             combined = sum(values) / count

@@ -11,6 +11,7 @@
 """
 
 from repro.apps.base import Application, CollectiveOps
+from repro.apps.mailbox import MailboxApplication
 from repro.apps.null_app import NullApplication
 from repro.apps.barrier import BarrierApplication
 from repro.apps.enum_puzzle import EnumApplication
@@ -22,6 +23,7 @@ from repro.apps.lu import LuApplication
 __all__ = [
     "Application",
     "CollectiveOps",
+    "MailboxApplication",
     "NullApplication",
     "BarrierApplication",
     "EnumApplication",

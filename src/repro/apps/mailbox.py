@@ -1,0 +1,537 @@
+"""Internet-scale mailbox service workload (the petmail scenario).
+
+The paper's two-case machinery was built for *tightly coupled* jobs,
+but the same fast-path/buffered split shows up in a very different
+regime: an always-on mailbox service absorbing open-loop traffic from
+millions of mostly-offline senders. Mail arrives whether or not the
+recipient is connected; the service tier must absorb bursts (buffered
+case), suppress client retransmission duplicates, and survive node
+crashes by letting senders replay.
+
+Topology: nodes ``[0, mailbox_nodes)`` host the mailbox service; the
+remaining nodes are *gateways*, each aggregating a disjoint shard of
+the logical client population. A gateway's open-loop send process
+draws the sending client from an integer log-uniform (Zipf-like)
+distribution and the recipient likewise, modulates its send gap with
+an integer triangle-wave diurnal envelope, and occasionally submits
+the same message twice (impatient clients double-send). Client state
+lives in a bounded LRU *flow table*, so ``clients`` can be millions of
+logical senders while resident state stays O(active flows).
+
+All traffic — submission, retrieval, delivery, epoch announcements —
+rides one :class:`~repro.protocols.reliable.ReliableTransport`, so the
+workload composes with fault plans: drops are repaired by retries, and
+``mailbox_crashes=`` faults wipe a seeded mailbox node (queued mail +
+dedup state), bump its epoch, and reconnecting gateways answer with a
+replay of their bounded submission logs.
+
+Everything is integer arithmetic on named
+:class:`~repro.sim.random.DeterministicRng` streams: no wall clock, no
+floating trig, so metrics are bit-identical across serial, parallel
+and cache-replay execution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, Generator, List, Tuple
+
+from repro.apps.base import Application
+from repro.machine.processor import Compute
+from repro.core.udm import UdmRuntime
+from repro.protocols.reliable import ReliableTransport
+from repro.sim.random import DeterministicRng
+
+#: Upper bucket edges (cycles) for the retrieval-latency histogram:
+#: time from enqueue at the mailbox to delivery at the gateway. Shared
+#: with the observatory declaration so snapshots stay comparable.
+RETRIEVAL_LATENCY_EDGES: Tuple[int, ...] = (
+    2_000, 10_000, 50_000, 200_000, 1_000_000, 5_000_000,
+)
+
+
+def heavy_tail_rank(rng: DeterministicRng, n: int) -> int:
+    """A rank in ``[0, n)`` with log-uniform (Zipf-like) mass.
+
+    Picks an octave ``[2^k, 2^(k+1))`` uniformly, then a rank uniformly
+    inside it — equal probability mass per octave, so rank 0 is drawn
+    ~``bit_length(n)`` times more often than a uniform draw would.
+    Integer-only: platform-deterministic, and O(1) regardless of ``n``,
+    which is what lets ``clients`` scale to millions.
+    """
+    if n <= 1:
+        return 0
+    k = rng.uniform_int(0, n.bit_length() - 1)
+    lo = min(1 << k, n)
+    hi = min(n, (1 << (k + 1)) - 1)
+    return rng.uniform_int(lo, hi) - 1
+
+
+class MailboxStats:
+    """Workload-global counters; the metric-collection ground truth."""
+
+    __slots__ = (
+        "submitted", "absorbed", "enqueued", "retrieved", "delivered",
+        "overflow_drops", "duplicates_suppressed", "client_duplicates",
+        "reconnects", "replays", "crashes", "crash_losses",
+        "flows_created", "flows_evicted", "dedup_evictions",
+        "active_flows_peak", "occupancy_peak",
+        "latency_counts", "latency_count", "latency_total",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0            # transport sends of "submit"
+        self.absorbed = 0             # "submit" handled at a mailbox
+        self.enqueued = 0             # accepted into a recipient queue
+        self.retrieved = 0            # popped for a reconnect
+        self.delivered = 0            # "deliver" handled at a gateway
+        self.overflow_drops = 0       # mailbox quota rejections
+        self.duplicates_suppressed = 0  # app-level dedup hits
+        self.client_duplicates = 0    # impatient double-sends injected
+        self.reconnects = 0           # "retrieve" requests issued
+        self.replays = 0              # submissions replayed post-crash
+        self.crashes = 0              # mailbox-node crash events
+        self.crash_losses = 0         # queued mail wiped by crashes
+        self.flows_created = 0
+        self.flows_evicted = 0        # LRU pressure on the flow table
+        self.dedup_evictions = 0      # LRU pressure on the dedup cache
+        self.active_flows_peak = 0
+        self.occupancy_peak = 0       # single-node queued-mail high-water
+        self.latency_counts = [0] * (len(RETRIEVAL_LATENCY_EDGES) + 1)
+        self.latency_count = 0
+        self.latency_total = 0
+
+    def note_latency(self, value: int) -> None:
+        self.latency_counts[bisect_left(RETRIEVAL_LATENCY_EDGES,
+                                        value)] += 1
+        self.latency_count += 1
+        self.latency_total += value
+
+    def latency_mean(self) -> float:
+        if not self.latency_count:
+            return 0.0
+        return self.latency_total / self.latency_count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-scalar summary for RunResult.extra payloads."""
+        out = {name: getattr(self, name) for name in self.__slots__
+               if name != "latency_counts"}
+        out["latency_counts"] = list(self.latency_counts)
+        return out
+
+
+class MailboxService:
+    """Server-side state: per-recipient queues, dedup cache, epochs.
+
+    One instance is shared by the mailbox-node handler coroutines (the
+    state a real service would keep in node-local memory, sharded by
+    ``home``). Registered on the machine via
+    :meth:`~repro.machine.machine.Machine.register_mailbox` so metric
+    collection, the observatory and the fault injector's crash
+    schedule can reach it.
+    """
+
+    def __init__(self, mailbox_nodes: int, capacity: int,
+                 dedup_cache: int, stats: MailboxStats) -> None:
+        self.mailbox_node_list = list(range(mailbox_nodes))
+        self.capacity = capacity
+        self.dedup_cache = dedup_cache
+        self.stats = stats
+        #: recipient -> deque of (client, seq, enqueue_time).
+        self.queues: Dict[int, Deque[Tuple[int, int, int]]] = {}
+        #: (recipient, client) -> highest seq accepted (bounded LRU).
+        self.seen: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self.occupancy: Dict[int, int] = {
+            n: 0 for n in self.mailbox_node_list
+        }
+        self.epoch: Dict[int, int] = {
+            n: 0 for n in self.mailbox_node_list
+        }
+
+    def home(self, recipient: int) -> int:
+        return self.mailbox_node_list[
+            recipient % len(self.mailbox_node_list)]
+
+    def queued_total(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def accept(self, node: int, client: int, recipient: int, seq: int,
+               now: int) -> bool:
+        """Absorb one submission at its home node; False on drop."""
+        stats = self.stats
+        key = (recipient, client)
+        last = self.seen.get(key)
+        if last is not None and seq <= last:
+            self.seen.move_to_end(key)
+            stats.duplicates_suppressed += 1
+            return False
+        self.seen[key] = seq
+        self.seen.move_to_end(key)
+        while len(self.seen) > self.dedup_cache:
+            self.seen.popitem(last=False)
+            stats.dedup_evictions += 1
+        queue = self.queues.get(recipient)
+        if queue is None:
+            queue = self.queues[recipient] = deque()
+        if len(queue) >= self.capacity:
+            stats.overflow_drops += 1
+            return False
+        queue.append((client, seq, now))
+        occ = self.occupancy[node] + 1
+        self.occupancy[node] = occ
+        if occ > stats.occupancy_peak:
+            stats.occupancy_peak = occ
+        stats.enqueued += 1
+        return True
+
+    def crash(self, now: int, rng: DeterministicRng) -> bool:
+        """Fault-injector hook: crash one seeded mailbox node.
+
+        Wipes the victim's queued mail and its share of the dedup
+        cache and bumps its epoch; gateways observe the epoch change
+        on their next reconnect and replay their bounded logs.
+        """
+        nodes = self.mailbox_node_list
+        victim = nodes[rng.uniform_int(0, len(nodes) - 1)]
+        lost = 0
+        for recipient in sorted(self.queues):
+            if self.home(recipient) != victim:
+                continue
+            queue = self.queues[recipient]
+            lost += len(queue)
+            queue.clear()
+        self.occupancy[victim] = 0
+        for key in [k for k in self.seen if self.home(k[0]) == victim]:
+            del self.seen[key]
+        self.epoch[victim] += 1
+        self.stats.crashes += 1
+        self.stats.crash_losses += lost
+        return True
+
+
+class MailboxApplication(Application):
+    """Always-on mailbox nodes fed by client-aggregating gateways."""
+
+    name = "mailbox"
+
+    def __init__(self, num_nodes: int = 8, mailbox_nodes: int = 2,
+                 clients: int = 100_000, recipients: int = 48,
+                 messages_per_gateway: int = 400, mean_gap: int = 600,
+                 dup_rate: float = 0.08, diurnal_period: int = 150_000,
+                 diurnal_amplitude_milli: int = 600,
+                 mailbox_capacity: int = 1_024,
+                 max_active_flows: int = 512, dedup_cache: int = 4_096,
+                 reconnects: int = 2, replay_window: int = 32,
+                 retrieve_batch: int = 64,
+                 handler_cycles: int = 60, seed: int = 1,
+                 record_deliveries: bool = False) -> None:
+        if mailbox_nodes < 1:
+            raise ValueError("need at least one mailbox node")
+        if num_nodes < mailbox_nodes + 1:
+            raise ValueError("need at least one gateway node")
+        if clients < 1 or recipients < 1:
+            raise ValueError("clients and recipients must be positive")
+        if messages_per_gateway < 1 or mean_gap < 1:
+            raise ValueError("message count and gap must be positive")
+        if not 0.0 <= dup_rate <= 1.0:
+            raise ValueError(f"dup_rate={dup_rate} is not a probability")
+        self.num_nodes = num_nodes
+        self.mailbox_nodes = mailbox_nodes
+        self.num_gateways = num_nodes - mailbox_nodes
+        self.clients = clients
+        self.recipients = recipients
+        self.messages_per_gateway = messages_per_gateway
+        self.mean_gap = mean_gap
+        self.dup_rate = dup_rate
+        self.diurnal_period = diurnal_period
+        self.diurnal_amplitude_milli = min(999, diurnal_amplitude_milli)
+        self.max_active_flows = max_active_flows
+        self.reconnects = reconnects
+        self.replay_window = replay_window
+        self.retrieve_batch = max(1, retrieve_batch)
+        self.handler_cycles = handler_cycles
+        self.seed = seed
+        self.record_deliveries = record_deliveries
+
+        self.stats = MailboxStats()
+        self.service = MailboxService(mailbox_nodes, mailbox_capacity,
+                                      dedup_cache, self.stats)
+        # Wide-area clients tolerate seconds of latency; the default
+        # 4k-cycle timeout would congestion-collapse here (acks sit
+        # behind deep mailbox backlogs, every premature retry deepens
+        # them), so the retry clock matches the service tier's worst
+        # queueing delay instead.
+        self.transport = ReliableTransport(num_nodes,
+                                           retry_timeout=64_000,
+                                           deliver=self._deliver)
+        # Per-gateway flow tables (client -> sends), bounded LRU.
+        self._flow_tables: Dict[int, "OrderedDict[int, int]"] = {}
+        self._flow_cap = max(1, max_active_flows // self.num_gateways)
+        # Per-gateway bounded replay logs: (home, client, recipient, seq).
+        self._replay_logs: Dict[int, Deque[Tuple[int, int, int, int]]] = {}
+        # (gateway node, mailbox node) -> last epoch acknowledged.
+        self._epoch_seen: Dict[Tuple[int, int], int] = {}
+        # Recipients with a reconnect in flight ("done" not yet seen):
+        # one outstanding retrieve per recipient, or the drain loop
+        # would pile requests onto an already-loaded mailbox node.
+        self._retrieving: set = set()
+        self._sending_done = 0
+        self._drained = 0
+        #: (client, recipient) -> delivered seqs, in delivery order.
+        #: Test instrumentation only (unbounded); off by default so
+        #: sweep-scale runs stay O(active flows + queued mail).
+        self.retrieved_log: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Open-loop arrival shaping
+    # ------------------------------------------------------------------
+    def _envelope_milli(self, now: int) -> int:
+        """Diurnal rate multiplier in milli-units (1000 = nominal).
+
+        An integer triangle wave between ``1000 - amp`` (trough) and
+        ``1000 + amp`` (peak) over ``diurnal_period`` cycles — the
+        burst envelope, without floating trig.
+        """
+        period = self.diurnal_period
+        amp = self.diurnal_amplitude_milli
+        if period <= 1 or amp <= 0:
+            return 1_000
+        half = period // 2
+        pos = now % period
+        rise = pos if pos <= half else period - pos
+        return 1_000 - amp + (2 * amp * rise) // half
+
+    def _gap(self, rng: DeterministicRng, now: int) -> int:
+        base = rng.uniform_interval(self.mean_gap)
+        return base * 1_000 // self._envelope_milli(now)
+
+    # ------------------------------------------------------------------
+    # Transport delivery callback (runs inside receiving handlers)
+    # ------------------------------------------------------------------
+    def _deliver(self, rt: UdmRuntime, src: int,
+                 payload: Tuple[Any, ...]) -> Generator:
+        kind = payload[0]
+        if kind == "submit":
+            yield from self._on_submit(rt, payload)
+        elif kind == "retrieve":
+            yield from self._on_retrieve(rt, payload)
+        elif kind == "deliver":
+            self._on_deliver(rt, payload)
+        elif kind == "done":
+            yield from self._on_done(rt, src, payload)
+        else:  # pragma: no cover - protocol bug guard
+            raise ValueError(f"unknown mailbox message {kind!r}")
+
+    def _on_submit(self, rt: UdmRuntime,
+                   payload: Tuple[Any, ...]) -> Generator:
+        _, client, recipient, seq = payload
+        yield Compute(self.handler_cycles)
+        self.stats.absorbed += 1
+        self.service.accept(rt.node_index, client, recipient, seq,
+                            rt.machine.engine.now)
+
+    def _on_retrieve(self, rt: UdmRuntime,
+                     payload: Tuple[Any, ...]) -> Generator:
+        _, requester, recipient = payload
+        yield Compute(40)
+        node = rt.node_index
+        queue = self.service.queues.get(recipient)
+        # Page the inbox: a bounded batch per reconnect keeps one hot
+        # recipient from occupying the handler past the atomicity
+        # window every time. The requester reconnects again while its
+        # queue is non-empty, so leftovers drain on later rounds.
+        batch = self.retrieve_batch
+        while queue and batch:
+            batch -= 1
+            client, seq, enq = queue.popleft()
+            self.service.occupancy[node] -= 1
+            self.stats.retrieved += 1
+            yield from self.transport.send(
+                rt, requester, ("deliver", recipient, client, seq, enq))
+        yield from self.transport.send(
+            rt, requester, ("done", recipient, self.service.epoch[node]))
+
+    def _on_deliver(self, rt: UdmRuntime,
+                    payload: Tuple[Any, ...]) -> None:
+        _, recipient, client, seq, enq = payload
+        self.stats.note_latency(rt.machine.engine.now - enq)
+        self.stats.delivered += 1
+        if self.record_deliveries:
+            self.retrieved_log.setdefault((client, recipient),
+                                          []).append(seq)
+
+    def _on_done(self, rt: UdmRuntime, src: int,
+                 payload: Tuple[Any, ...]) -> Generator:
+        _, recipient, epoch = payload
+        self._retrieving.discard(recipient)
+        key = (rt.node_index, src)
+        if epoch <= self._epoch_seen.get(key, 0):
+            return
+        self._epoch_seen[key] = epoch
+        # The mailbox node crashed since our last reconnect: replay
+        # everything in the bounded log that was homed there. Replays
+        # whose mail survived are absorbed by the dedup cache.
+        for home, client, recipient, seq in list(
+                self._replay_logs.get(rt.node_index, ())):
+            if home != src:
+                continue
+            self.stats.replays += 1
+            self.stats.submitted += 1
+            yield from self.transport.send(
+                rt, home, ("submit", client, recipient, seq))
+
+    # ------------------------------------------------------------------
+    # Flow-table aggregation (the O(active-flows) bound)
+    # ------------------------------------------------------------------
+    def _note_flow(self, gateway_node: int, client: int) -> None:
+        table = self._flow_tables[gateway_node]
+        if client in table:
+            table[client] += 1
+            table.move_to_end(client)
+        else:
+            table[client] = 1
+            self.stats.flows_created += 1
+            while len(table) > self._flow_cap:
+                table.popitem(last=False)
+                self.stats.flows_evicted += 1
+        active = sum(len(t) for t in self._flow_tables.values())
+        if active > self.stats.active_flows_peak:
+            self.stats.active_flows_peak = active
+
+    # ------------------------------------------------------------------
+    # Mains
+    # ------------------------------------------------------------------
+    def main(self, rt: UdmRuntime, node_index: int) -> Generator:
+        if node_index < self.mailbox_nodes:
+            yield from self._mailbox_main(rt, node_index)
+        else:
+            yield from self._gateway_main(rt, node_index)
+
+    def _mailbox_main(self, rt: UdmRuntime,
+                      node_index: int) -> Generator:
+        if node_index == 0:
+            rt.machine.register_mailbox(self.service)
+        # All service work happens in handlers; the main thread just
+        # keeps the node resident until every gateway has drained.
+        while self._drained < self.num_gateways:
+            yield Compute(2_000)
+
+    def _gateway_main(self, rt: UdmRuntime,
+                      node_index: int) -> Generator:
+        gw = node_index - self.mailbox_nodes
+        rng = DeterministicRng(self.seed, f"mailbox/gateway/{gw}")
+        self._flow_tables[node_index] = OrderedDict()
+        replay_log: Deque[Tuple[int, int, int, int]] = deque(
+            maxlen=self.replay_window)
+        self._replay_logs[node_index] = replay_log
+        # This gateway's shards of the client and recipient spaces.
+        clients_per_gw = max(1, self.clients // self.num_gateways)
+        own = [r for r in range(self.recipients)
+               if r % self.num_gateways == gw]
+        # Seeded reconnect schedule: after which submission each owned
+        # recipient comes online and drains its mailbox.
+        checkpoints: Dict[int, List[int]] = {}
+        for recipient in own:
+            for _ in range(self.reconnects):
+                at = rng.uniform_int(1, self.messages_per_gateway)
+                checkpoints.setdefault(at, []).append(recipient)
+
+        seq = 0
+        for sent in range(self.messages_per_gateway):
+            for recipient in checkpoints.pop(sent, ()):
+                if recipient in self._retrieving:
+                    continue
+                self._retrieving.add(recipient)
+                self.stats.reconnects += 1
+                yield from self.transport.send(
+                    rt, self.service.home(recipient),
+                    ("retrieve", node_index, recipient))
+            gap = self._gap(rng, rt.machine.engine.now)
+            if gap:
+                yield Compute(gap)
+            client = (heavy_tail_rank(rng, clients_per_gw)
+                      * self.num_gateways + gw)
+            recipient = heavy_tail_rank(rng, self.recipients)
+            home = self.service.home(recipient)
+            self._note_flow(node_index, client)
+            self.stats.submitted += 1
+            yield from self.transport.send(
+                rt, home, ("submit", client, recipient, seq))
+            replay_log.append((home, client, recipient, seq))
+            if self.dup_rate and rng.random() < self.dup_rate:
+                # An impatient client double-sends; same seq, so the
+                # mailbox's dedup cache must absorb it.
+                self.stats.client_duplicates += 1
+                self.stats.submitted += 1
+                yield from self.transport.send(
+                    rt, home, ("submit", client, recipient, seq))
+            seq += 1
+        self._sending_done += 1
+
+        # Final drain: reconnect until the whole workload quiesces.
+        # Bounded by rounds *without progress*, not total rounds — a
+        # buffered-mode grind can take a while but keeps moving, while
+        # planned transport give-ups under extreme fault plans stop all
+        # progress and must not wedge the run.
+        stats = self.stats
+        idle_rounds = 0
+        last_progress = None
+        # The idle window must out-wait the longest *planned* stall:
+        # an overflow suspension freezes the whole job for
+        # suspend_duration cycles while our retrieves sit in flight,
+        # and giving up inside that window strands queued mail.
+        round_cycles = 4_000
+        overflow = getattr(rt.machine, "overflow", None)
+        suspend = (overflow.policy.suspend_duration
+                   if overflow is not None else 0)
+        patience = max(100, suspend // round_cycles + 100)
+        while idle_rounds < patience:
+            if (self._sending_done == self.num_gateways
+                    and stats.absorbed == stats.submitted
+                    and stats.delivered == stats.retrieved
+                    and not any(self.service.queues.get(r)
+                                for r in own)):
+                break
+            # Transport counters count as liveness too: a retry storm
+            # is still moving (bounded by max_retries per message),
+            # and acks_sent ticks while the receiver grinds through a
+            # deep software buffer of duplicate copies — app-level
+            # counters alone would read that grind as a wedge. Both
+            # are bounded, so planned give-ups still terminate us.
+            progress = (stats.absorbed, stats.retrieved,
+                        stats.delivered,
+                        self.transport.retransmissions,
+                        self.transport.acks_sent)
+            if progress == last_progress:
+                idle_rounds += 1
+            else:
+                idle_rounds = 0
+                last_progress = progress
+            for recipient in own:
+                if (self.service.queues.get(recipient)
+                        and recipient not in self._retrieving):
+                    self._retrieving.add(recipient)
+                    stats.reconnects += 1
+                    yield from self.transport.send(
+                        rt, self.service.home(recipient),
+                        ("retrieve", node_index, recipient))
+            yield Compute(round_cycles)
+        self._drained += 1
+
+    def describe(self) -> str:
+        return (
+            f"mailbox: {self.clients} clients over {self.num_gateways} "
+            f"gateways -> {self.mailbox_nodes} mailbox nodes, "
+            f"{self.messages_per_gateway} msgs/gateway, "
+            f"mean_gap={self.mean_gap}"
+        )
+
+
+__all__ = [
+    "MailboxApplication",
+    "MailboxService",
+    "MailboxStats",
+    "RETRIEVAL_LATENCY_EDGES",
+    "heavy_tail_rank",
+]

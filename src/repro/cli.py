@@ -229,6 +229,59 @@ def _cmd_delivery(args) -> None:
     ))
 
 
+def _cmd_mailbox(args) -> int:
+    from repro.experiments.mailbox_sweeps import mailbox_spec
+    from repro.faults.plan import FaultPlan
+    from repro.runner import run_specs
+
+    plan = FaultPlan.parse(args.faults) if args.faults else None
+    canonical = plan.describe() if plan is not None else ""
+    spec = mailbox_spec(
+        clients=args.clients, recipients=args.recipients,
+        messages=args.messages, seed=args.seed,
+        delivery=args.delivery, faults=canonical,
+    )
+    result = run_specs([spec], **_runner_kwargs(args))[0]
+    metrics = result.require()
+    extra = result.extra or {}
+    mb = extra.get("mailbox", {})
+    cached = " [cached]" if result.cached else ""
+    print(render_table(
+        f"Mailbox workload: {args.clients:,} clients, "
+        f"{args.recipients} recipients, {args.messages} msgs/gateway "
+        f"(delivery={args.delivery}, "
+        f"faults={canonical or 'none'}){cached}",
+        ["metric", "value"],
+        [
+            ["elapsed cycles", metrics.elapsed_cycles],
+            ["submissions (incl. client dups)", mb.get("submitted", 0)],
+            ["enqueued", metrics.mailbox_enqueued],
+            ["delivered", mb.get("delivered", 0)],
+            ["buffered fraction",
+             f"{metrics.buffered_fraction:.1%}"],
+            ["peak buffer pages", metrics.max_buffer_pages],
+            ["active flows peak (cap)",
+             f"{metrics.mailbox_active_flows_peak}"],
+            ["mailbox occupancy peak", metrics.mailbox_occupancy_peak],
+            ["overflow drops", metrics.mailbox_overflow_drops],
+            ["duplicates suppressed", metrics.mailbox_dup_suppressed],
+            ["retrieval latency (mean cycles)",
+             f"{metrics.retrieval_latency_mean:.0f}"],
+            ["reconnects", mb.get("reconnects", 0)],
+            ["crashes / losses / replays",
+             f"{mb.get('crashes', 0)} / {mb.get('crash_losses', 0)} / "
+             f"{metrics.mailbox_replays}"],
+            ["retransmissions", metrics.retries],
+            ["queued at exit", extra.get("queued_at_exit", 0)],
+        ],
+    ))
+    if args.check_buffered and metrics.buffered_fraction == 0:
+        print("\nFAIL: buffered fraction is zero — the open-loop "
+              "fan-in did not exercise two-case buffering")
+        return 1
+    return 0
+
+
 def _cmd_faultdemo(args) -> None:
     from repro.faults.plan import FaultPlan
     from repro.faults.runner import faulted_spec
@@ -396,6 +449,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(pd)
     pd.set_defaults(fn=_cmd_delivery)
 
+    pm = sub.add_parser(
+        "mailbox",
+        help="internet-scale mailbox workload (open-loop heavy-tailed "
+             "fan-in over always-on two-case mailbox nodes)")
+    pm.add_argument("--clients", type=int, default=100_000,
+                    help="logical client population (aggregated into "
+                         "bounded flow objects; millions are fine)")
+    pm.add_argument("--recipients", type=int, default=48)
+    pm.add_argument("--messages", type=int, default=400,
+                    help="submissions per gateway node")
+    pm.add_argument("--seed", type=int, default=1)
+    pm.add_argument("--delivery",
+                    choices=("twocase", "zerocopy", "damq"),
+                    default="twocase",
+                    help="NI delivery discipline (see docs/DELIVERY.md)")
+    pm.add_argument("--check-buffered", action="store_true",
+                    help="exit non-zero unless the run exercised the "
+                         "buffered path (CI smoke gate)")
+    _add_faults_flag(pm)
+    _add_runner_flags(pm)
+    pm.set_defaults(fn=_cmd_mailbox)
+
     pf = sub.add_parser(
         "faultdemo",
         help="reliable messaging over an injected-fault fabric")
@@ -451,7 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None,
                     help="restrict to these artifact ids "
                          "(table4 table5 table6 fig7 fig8 fig9 fig10 "
-                         "ablations delivery_headtohead)")
+                         "ablations delivery_headtohead "
+                         "mailbox_scaling)")
     pr.add_argument("--goldens", metavar="FILE", default=None,
                     help="goldens file (default: goldens/paper.json)")
     pr.add_argument("--out", metavar="DIR", default=None,

@@ -33,6 +33,31 @@ from dataclasses import dataclass, field, replace
 COST_MODEL_VERSION = 1
 
 
+#: How many doublings an exponential transport backoff may grow before
+#: it stops increasing. Both reliable-transport delay paths (the
+#: retransmission timer and the NI-autonomous credit wait) share this
+#: exponent, so a non-default base delay scales both the same way.
+TRANSPORT_BACKOFF_DOUBLINGS = 6
+
+#: Absolute ceiling, in cycles, on any reliable-transport backoff
+#: delay — roughly half the default 500,000-cycle scheduler timeslice,
+#: so a backed-off retry always lands within the next quantum instead
+#: of blowing past the atomicity window. With the default 4,000-cycle
+#: retry timeout the doubling cap and this ceiling coincide
+#: (4,000 << 6 = 256,000), so default configurations are unchanged.
+TRANSPORT_BACKOFF_CAP = 256_000
+
+
+def transport_backoff_cap(base: int) -> int:
+    """The ceiling for an exponential backoff starting at ``base``.
+
+    The single named cap both :class:`ReliableTransport` delay paths
+    clamp to: ``base`` doubled :data:`TRANSPORT_BACKOFF_DOUBLINGS`
+    times, never above :data:`TRANSPORT_BACKOFF_CAP`.
+    """
+    return min(base << TRANSPORT_BACKOFF_DOUBLINGS, TRANSPORT_BACKOFF_CAP)
+
+
 class AtomicityMode(enum.Enum):
     """Which protection regime the fast path runs under (Table 4)."""
 

@@ -1,0 +1,171 @@
+"""Internet-scale mailbox sweeps: client scaling and delivery head-to-head.
+
+The mailbox workload (:mod:`repro.apps.mailbox`) aggregates its logical
+client population into bounded flow objects, so the interesting
+experimental question is what *doesn't* change as ``--clients`` grows
+by orders of magnitude: resident flow state stays pinned at the LRU
+cap, the buffered fraction tracks the diurnal envelope rather than the
+population, and run time stays O(messages). The scaling sweep measures
+exactly that, from thousands of clients to millions, and the
+head-to-head row replays the same workload under each NI delivery
+discipline (two-case / zerocopy / DAMQ).
+
+Both sweeps route through :mod:`repro.runner` (one
+:class:`~repro.runner.RunSpec` per (x, trial) run), so they
+parallelize and memoize like every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import RunMetrics, collect_metrics, mean
+from repro.apps.mailbox import RETRIEVAL_LATENCY_EDGES, MailboxApplication
+from repro.experiments.config import SimulationConfig
+from repro.machine.machine import Machine
+from repro.ni.delivery import DELIVERY_KINDS
+from repro.runner import ResultCache, RunSpec, run_specs
+
+#: The scaling sweep's x axis: logical client populations. Three
+#: orders of magnitude; the O(active-flows) aggregation is what keeps
+#: the rightmost point as cheap as the leftmost.
+CLIENT_SCALES = (1_000, 100_000, 1_000_000)
+#: Fixed population for the delivery head-to-head row.
+HEAD_TO_HEAD_CLIENTS = 100_000
+MAILBOX_NODES_TOTAL = 8
+MAILBOX_SERVICE_NODES = 2
+
+
+def run_mailbox(clients: int = 100_000, recipients: int = 48,
+                messages: int = 400, mean_gap: int = 600,
+                mailbox_capacity: int = 1_024,
+                max_active_flows: int = 512,
+                num_nodes: int = MAILBOX_NODES_TOTAL,
+                mailbox_nodes: int = MAILBOX_SERVICE_NODES,
+                seed: int = 1, delivery: str = "twocase",
+                faults: str = "") -> Tuple[RunMetrics, Dict[str, Any]]:
+    """One mailbox run; returns ``(metrics, extra)``.
+
+    ``extra`` carries the mailbox service's own counter snapshot plus
+    the fixed-edge retrieval-latency buckets — all integers, so it
+    rides the result cache bit-identically.
+    """
+    config = SimulationConfig(num_nodes=num_nodes, seed=seed,
+                              delivery=delivery)
+    if faults:
+        config = config.with_faults(faults)
+    machine = Machine(config)
+    app = MailboxApplication(
+        num_nodes=num_nodes, mailbox_nodes=mailbox_nodes,
+        clients=clients, recipients=recipients,
+        messages_per_gateway=messages, mean_gap=mean_gap,
+        mailbox_capacity=mailbox_capacity,
+        max_active_flows=max_active_flows, seed=seed,
+    )
+    job = machine.add_job(app)
+    machine.start()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    metrics = collect_metrics(machine, job)
+    extra: Dict[str, Any] = {
+        "mailbox": app.stats.snapshot(),
+        "latency_edges": list(RETRIEVAL_LATENCY_EDGES),
+        "queued_at_exit": app.service.queued_total(),
+    }
+    return metrics, extra
+
+
+def execute_mailbox(**params) -> Tuple[RunMetrics, Dict[str, Any]]:
+    """Runner executor for one mailbox run (kind ``mailbox``)."""
+    return run_mailbox(**params)
+
+
+def mailbox_spec(clients: int = 100_000, recipients: int = 48,
+                 messages: int = 400, mean_gap: int = 600,
+                 mailbox_capacity: int = 1_024,
+                 max_active_flows: int = 512,
+                 num_nodes: int = MAILBOX_NODES_TOTAL,
+                 mailbox_nodes: int = MAILBOX_SERVICE_NODES,
+                 seed: int = 1, delivery: str = "twocase",
+                 faults: str = "") -> RunSpec:
+    """The :class:`RunSpec` describing one mailbox run.
+
+    Delivery discipline and fault plan join the spec only when
+    non-default, the same cache-key convention as every other kind.
+    """
+    params = dict(clients=clients, recipients=recipients,
+                  messages=messages, mean_gap=mean_gap,
+                  mailbox_capacity=mailbox_capacity,
+                  max_active_flows=max_active_flows,
+                  num_nodes=num_nodes, mailbox_nodes=mailbox_nodes,
+                  seed=seed)
+    if delivery != "twocase":
+        params["delivery"] = delivery
+    if faults:
+        params["faults"] = faults
+    return RunSpec.make("mailbox", **params)
+
+
+@dataclass
+class MailboxSweepResult:
+    """Scaling curves plus the delivery head-to-head rows."""
+
+    clients: List[int]
+    #: metric name -> one value per client scale.
+    curves: Dict[str, List[float]]
+    #: delivery kind -> summary metrics at HEAD_TO_HEAD_CLIENTS.
+    head_to_head: Dict[str, Dict[str, float]]
+
+
+#: Curve metrics (RunMetrics field names) reported per client scale.
+CURVE_FIELDS = (
+    "elapsed_cycles",
+    "buffered_fraction", "mailbox_overflow_drops", "max_buffer_pages",
+    "mailbox_active_flows_peak", "mailbox_occupancy_peak",
+    "mailbox_dup_suppressed", "retrieval_latency_mean",
+)
+
+
+def scaling_sweep(clients_values: Sequence[int] = CLIENT_SCALES,
+                  trials: int = 2,
+                  delivery_kinds: Sequence[str] = tuple(DELIVERY_KINDS),
+                  jobs: Optional[int] = None,
+                  cache: Optional[ResultCache] = None,
+                  ) -> MailboxSweepResult:
+    """Client-scaling curves + delivery head-to-head, one fan-out."""
+    specs: List[RunSpec] = [
+        mailbox_spec(clients=clients, seed=seed + 1)
+        for clients in clients_values
+        for seed in range(trials)
+    ]
+    head_specs: List[RunSpec] = [
+        mailbox_spec(clients=HEAD_TO_HEAD_CLIENTS, seed=1,
+                     delivery=kind)
+        for kind in delivery_kinds
+    ]
+    results = run_specs(specs + head_specs, jobs=jobs, cache=cache)
+    curves: Dict[str, List[float]] = {name: [] for name in CURVE_FIELDS}
+    cursor = 0
+    for _clients in clients_values:
+        chunk = results[cursor:cursor + trials]
+        cursor += trials
+        good = [r.metrics for r in chunk if r.ok]
+        if not good:
+            chunk[0].require()
+        averaged = mean(good)
+        for name in CURVE_FIELDS:
+            curves[name].append(getattr(averaged, name))
+    head_to_head: Dict[str, Dict[str, float]] = {}
+    for kind, result in zip(delivery_kinds, results[cursor:]):
+        result.require()
+        m = result.metrics
+        head_to_head[kind] = {
+            "buffered_fraction": m.buffered_fraction,
+            "elapsed_cycles": m.elapsed_cycles,
+            "retrieval_latency_mean": m.retrieval_latency_mean,
+            "mailbox_occupancy_peak": m.mailbox_occupancy_peak,
+            "damq_evictions": m.damq_evictions,
+            "pinned_pages_peak": m.pinned_pages_peak,
+        }
+    return MailboxSweepResult(clients=list(clients_values),
+                              curves=curves, head_to_head=head_to_head)

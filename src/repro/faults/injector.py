@@ -54,6 +54,7 @@ class FaultInjector:
         self._stall_rng = DeterministicRng(plan.seed, "faults/ni-stall")
         self._handler_rng = DeterministicRng(plan.seed, "faults/handler")
         self._timer_rng = DeterministicRng(plan.seed, "faults/timer")
+        self._mailbox_rng = DeterministicRng(plan.seed, "faults/mailbox")
         # Ledgers for the invariant checker.
         self.dropped_ids: Set[int] = set()
         self.duplicate_ids: Set[int] = set()
@@ -64,6 +65,7 @@ class FaultInjector:
         self.stalls = 0
         self.forced_expiries = 0
         self.page_faults = 0
+        self.mailbox_crashes = 0
 
     # ------------------------------------------------------------------
     # Fabric hook (called once per launched message)
@@ -147,6 +149,35 @@ class FaultInjector:
             def fire(ni=ni) -> None:
                 self.forced_expiries += 1
                 ni.force_timeout()
+
+            machine.engine.call_after(when, fire)
+
+    def schedule_mailbox_crashes(self, machine: "Machine") -> None:
+        """Install the planned mailbox-service crashes.
+
+        Called from :meth:`Machine.start`. Each crash fires at a seeded
+        time and asks every registered mailbox service (see
+        :meth:`Machine.register_mailbox`) to crash one seeded mailbox
+        node — wiping its queued mail and dedup state and bumping its
+        epoch, so reconnecting clients detect the loss and replay.
+        Services register lazily from application ``main`` generators,
+        which run after :meth:`Machine.start`; the lookup therefore
+        happens at fire time, and a machine that never registers a
+        mailbox takes no fault.
+        """
+        plan = self.plan
+        if not plan.mailbox_crashes:
+            return
+        horizon = max(1, plan.mailbox_crash_horizon)
+        times = sorted(self._mailbox_rng.uniform_int(1, horizon)
+                       for _ in range(plan.mailbox_crashes))
+        for when in times:
+
+            def fire() -> None:
+                for service in getattr(machine, "mailboxes", ()):
+                    if service.crash(machine.engine.now,
+                                     self._mailbox_rng):
+                        self.mailbox_crashes += 1
 
             machine.engine.call_after(when, fire)
 

@@ -56,6 +56,15 @@ class FaultPlan:
     #: Probability that a handler invocation synthesizes a page fault
     #: (a Section 4.3 buffered-mode trigger) before running.
     page_fault_rate: float = 0.0
+    #: Mailbox service crashes: this many, at seeded times uniform in
+    #: ``[1, mailbox_crash_horizon]``. Each crash wipes one seeded
+    #: mailbox node's queued mail and dedup state and bumps its epoch,
+    #: which clients observe at the next reconnect and answer with a
+    #: replay of their bounded submission logs (see
+    #: :mod:`repro.apps.mailbox`). A no-op on machines without a
+    #: registered mailbox service.
+    mailbox_crashes: int = 0
+    mailbox_crash_horizon: int = 2_000_000
     #: Restrict fabric faults to these ``src-dst`` pairs ("" = all).
     pairs: str = ""
     #: Never fault kernel-GID messages (OS traffic must stay reliable;
@@ -70,10 +79,23 @@ class FaultPlan:
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name}={value} is not a probability")
         for name in ("reorder", "spike_cycles", "stall_cycles",
-                     "expiries", "expiry_horizon"):
+                     "expiries", "expiry_horizon", "mailbox_crashes",
+                     "mailbox_crash_horizon"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} cannot be negative")
-        self.pair_set()  # validate eagerly
+        # Canonicalize the pair restriction (validates eagerly too).
+        # Whitespace, empty chunks and duplicates would otherwise make
+        # describe() emit a string that parses to a *different* plan —
+        # e.g. ``pairs=" 0-1 ;"`` described to ``pairs= 0-1 ;`` but
+        # parsed back stripped, breaking the roundtrip the cache keys
+        # rely on. Sorted, deduplicated ``src-dst;...`` is the one
+        # canonical spelling of every restriction set.
+        restricted = self.pair_set()
+        canonical = "" if restricted is None else ";".join(
+            f"{src}-{dst}" for src, dst in sorted(restricted)
+        )
+        if canonical != self.pairs:
+            object.__setattr__(self, "pairs", canonical)
 
     # ------------------------------------------------------------------
     # Queries
@@ -83,6 +105,7 @@ class FaultPlan:
         return not (
             self.drop or self.duplicate or self.reorder or self.spike
             or self.stall or self.expiries or self.page_fault_rate
+            or self.mailbox_crashes
         )
 
     @property

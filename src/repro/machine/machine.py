@@ -91,6 +91,10 @@ class Machine:
         #: Reliable transports active on this machine, registered at
         #: first send so collect_metrics/obs can harvest their ledgers.
         self.transports: List = []
+        #: Mailbox services (see repro.apps.mailbox), registered by the
+        #: mailbox application so metric collection, observability and
+        #: the fault injector's crash schedule can reach their state.
+        self.mailboxes: List = []
 
     def enable_tracing(self, limit: Optional[int] = 100_000):
         """Record per-message lifecycle events (Figure 2/5 timelines)."""
@@ -124,6 +128,13 @@ class Machine:
         can sum its ledgers (retransmissions, acks, give-ups)."""
         if transport not in self.transports:
             self.transports.append(transport)
+
+    def register_mailbox(self, service) -> None:
+        """Record a mailbox service (see :mod:`repro.apps.mailbox`) so
+        metric collection, observability and the fault injector's
+        crash schedule can reach its queues and counters."""
+        if service not in self.mailboxes:
+            self.mailboxes.append(service)
 
     def enable_invariant_checker(self):
         """Attach a :class:`~repro.faults.DeliveryInvariantChecker`.
@@ -209,6 +220,7 @@ class Machine:
             job.start_time = self.engine.now
         if self.fault_injector is not None:
             self.fault_injector.schedule_forced_expiries(self)
+            self.fault_injector.schedule_mailbox_crashes(self)
         if self.obs is not None:
             self.obs.start()
         self.scheduler.start()

@@ -112,8 +112,20 @@ class Observatory:
             "transport.sends", "transport.retransmissions",
             "transport.acks_sent", "transport.duplicates_suppressed",
             "transport.gave_up",
+            "mailbox.submitted", "mailbox.absorbed", "mailbox.enqueued",
+            "mailbox.retrieved", "mailbox.delivered",
+            "mailbox.overflow_drops", "mailbox.duplicates_suppressed",
+            "mailbox.client_duplicates", "mailbox.reconnects",
+            "mailbox.replays", "mailbox.crashes",
+            "mailbox.crash_losses", "mailbox.flows_created",
+            "mailbox.flows_evicted", "mailbox.dedup_evictions",
         ):
             reg.counter(name)
+        from repro.apps.mailbox import RETRIEVAL_LATENCY_EDGES
+
+        self.h_retrieval_latency = reg.histogram(
+            "mailbox.retrieval_latency", RETRIEVAL_LATENCY_EDGES,
+            "mailbox enqueue-to-gateway-delivery latency, cycles")
         for reason in TransitionReason:
             reg.counter(f"two_case.enter.{reason.value}")
         for name in (
@@ -123,6 +135,7 @@ class Observatory:
             "delivery.pinned_pages_peak", "delivery.damq_peak_occupancy",
             "buffering.max_pages", "buffering.max_queued_messages",
             "two_case.buffered_fraction",
+            "mailbox.occupancy_peak", "mailbox.active_flows_peak",
         ):
             reg.gauge(name)
 
@@ -284,6 +297,30 @@ class Observatory:
               sum(t.duplicates_suppressed for t in transports))
         total("transport.gave_up",
               sum(len(t.gave_up) for t in transports))
+
+        # Mailbox services: zeros on machines without one, so the
+        # counters still read as wired (the workload not running is an
+        # authoritative zero, unlike a harvest that forgot them).
+        mailboxes = getattr(machine, "mailboxes", ())
+        mb = [service.stats for service in mailboxes]
+        for field in ("submitted", "absorbed", "enqueued", "retrieved",
+                      "delivered", "overflow_drops",
+                      "duplicates_suppressed", "client_duplicates",
+                      "reconnects", "replays", "crashes", "crash_losses",
+                      "flows_created", "flows_evicted",
+                      "dedup_evictions"):
+            total(f"mailbox.{field}", sum(getattr(s, field) for s in mb))
+        gauge("mailbox.occupancy_peak",
+              max((s.occupancy_peak for s in mb), default=0))
+        gauge("mailbox.active_flows_peak",
+              max((s.active_flows_peak for s in mb), default=0))
+        if mb:
+            counts = [0] * len(self.h_retrieval_latency.counts)
+            for s in mb:
+                for i, c in enumerate(s.latency_counts):
+                    counts[i] += c
+            self.h_retrieval_latency.load(
+                counts, sum(s.latency_total for s in mb))
 
         if self.sampler is not None and not self._finalized:
             self.sampler.final_sample()

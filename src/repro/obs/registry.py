@@ -109,6 +109,20 @@ class Histogram:
         self.total += value
         self.touched = True
 
+    def load(self, counts: Sequence[int], total: Number) -> None:
+        """Overwrite with authoritative pre-bucketed counts (end-of-run
+        harvest from a subsystem that kept its own fixed-edge buckets).
+        The bucket vector must match this histogram's edge layout."""
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name} expects {len(self.counts)} "
+                f"buckets, got {len(counts)}"
+            )
+        self.counts = [int(c) for c in counts]
+        self.count = sum(self.counts)
+        self.total = total
+        self.touched = True
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "edges": list(self.edges),

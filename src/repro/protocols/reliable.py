@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
+from repro.core import costs
 from repro.machine.processor import Compute
 from repro.core.udm import UdmRuntime
 from repro.network.message import Message
@@ -172,9 +173,14 @@ class ReliableTransport:
             fabric.send(message)
             self.retransmissions += 1
             out.attempts += 1
-        # Exponential backoff (whether we sent or found no credit);
-        # capped so the shift stays sane under large budgets.
-        delay = self.retry_timeout << min(out.attempts, 6)
+        # Exponential backoff (whether we sent or found no credit),
+        # clamped to the shared transport cap so a non-default timeout
+        # cannot blow past the atomicity window.
+        delay = min(
+            self.retry_timeout
+            << min(out.attempts, costs.TRANSPORT_BACKOFF_DOUBLINGS),
+            costs.transport_backoff_cap(self.retry_timeout),
+        )
         out.entry = engine.call_after(delay, self._retry, key)
 
     # ------------------------------------------------------------------
@@ -225,19 +231,26 @@ class ReliableTransport:
         self._raw_send(machine, message)
 
     def _raw_send(self, machine, message: Message,
-                  backoff: int = 64) -> None:
-        """NI-autonomous injection: wait for credit from the event loop."""
+                  backoff: int = 64, cap: Optional[int] = None) -> None:
+        """NI-autonomous injection: wait for credit from the event loop.
+
+        The credit-wait backoff doubles under the same named cap as the
+        retransmission timer (``transport_backoff_cap`` of the initial
+        backoff), so neither path can outgrow the other's ceiling.
+        """
         fabric = machine.fabric
         if fabric.has_credit(message.dst):
             fabric.send(message)
             return
+        if cap is None:
+            cap = costs.transport_backoff_cap(backoff)
         machine.engine.call_after(
             backoff, self._raw_send_boxed,
-            (machine, message, min(backoff * 2, 4096)),
+            (machine, message, min(backoff * 2, cap), cap),
         )
 
     def _raw_send_boxed(self, boxed) -> None:
-        self._raw_send(boxed[0], boxed[1], boxed[2])
+        self._raw_send(boxed[0], boxed[1], boxed[2], boxed[3])
 
     def _h_ack(self, rt: UdmRuntime, msg) -> Generator:
         acker, seq = msg.payload
@@ -246,7 +259,15 @@ class ReliableTransport:
         key = (rt.node_index, acker, seq)
         out = self._outstanding.pop(key, None)
         if out is None:
-            return  # duplicate ack, or ack after give-up
+            # Duplicate ack — or an ack landing *after* the retry
+            # budget exhausted. The latter means a copy was delivered
+            # after all (it sat in the receiver's software buffer
+            # longer than the whole retry schedule), so the loss
+            # ledger must be repaired: an acknowledged message is not
+            # a loss, and the invariant checker would otherwise see
+            # it in both gave_up and the delivered log.
+            self.gave_up.discard(key)
+            return
         out.acked = True
         if out.entry is not None:
             out.entry.cancel()

@@ -42,10 +42,19 @@ class PruneReport:
     stale: int = 0     # entries from an old format/cost-model version
     tmp: int = 0       # orphaned *.tmp files from killed writers
     kept: int = 0      # entries still valid under the current versions
+    #: Files that vanished between glob and unlink — a concurrent
+    #: writer's ``os.replace`` or another pruner got there first. The
+    #: race is benign (the file is gone either way) but reported so a
+    #: contended cache directory is visible rather than silent.
+    missing: int = 0
 
     @property
     def removed(self) -> int:
         return self.stale + self.tmp
+
+
+#: Historical alias (the original name of the prune report).
+PruneStats = PruneReport
 
 
 class ResultCache:
@@ -147,13 +156,21 @@ class ResultCache:
             try:
                 path.unlink()
                 report.tmp += 1
+            except FileNotFoundError:
+                report.missing += 1
             except OSError:
                 pass
         for path in self.directory.glob("*.json"):
+            # The glob snapshot races against concurrent writers: a
+            # file may be replaced or removed between listing and the
+            # stat/unlink below. Vanished files are counted, never
+            # allowed to abort the prune mid-way.
             if self._is_stale(path):
                 try:
                     path.unlink()
                     report.stale += 1
+                except FileNotFoundError:
+                    report.missing += 1
                 except OSError:
                     pass
             else:
@@ -175,4 +192,4 @@ class ResultCache:
         return spec_key(spec) != path.stem
 
 
-__all__ = ["ResultCache", "PruneReport", "DEFAULT_CACHE_DIR"]
+__all__ = ["ResultCache", "PruneReport", "PruneStats", "DEFAULT_CACHE_DIR"]

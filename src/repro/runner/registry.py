@@ -36,6 +36,7 @@ EXECUTORS: Dict[str, str] = {
     "ablate_bulk": "repro.experiments.ablations:execute_bulk",
     "ablate_delivery": "repro.experiments.ablations:execute_delivery",
     "faulted": "repro.faults.runner:execute_faulted",
+    "mailbox": "repro.experiments.mailbox_sweeps:execute_mailbox",
 }
 
 _resolved: Dict[str, Executor] = {}

@@ -743,11 +743,124 @@ _DELIVERY = ArtifactSpec(
 )
 
 
+# ----------------------------------------------------------------------
+# Mailbox scaling (beyond the paper's figures)
+# ----------------------------------------------------------------------
+def _produce_mailbox(ctx: ReportContext) -> ArtifactRun:
+    from repro.experiments.mailbox_sweeps import scaling_sweep
+
+    result = scaling_sweep(trials=2, **ctx.runner_kwargs())
+    curves = result.curves
+    flows = curves["mailbox_active_flows_peak"]
+    elapsed = curves["elapsed_cycles"]
+    values: Dict[str, Any] = {}
+    for i, clients in enumerate(result.clients):
+        values[f"buffered_pct_{clients}"] = \
+            curves["buffered_fraction"][i] * 100
+    values["flows_peak_1000000"] = flows[-1]
+    values["overflow_drops_100000"] = \
+        curves["mailbox_overflow_drops"][1]
+    values["dup_suppressed_1000000"] = \
+        curves["mailbox_dup_suppressed"][-1]
+    values["retrieval_latency_mean_100000"] = \
+        curves["retrieval_latency_mean"][1]
+    values["pages_peak"] = max(curves["max_buffer_pages"])
+    # The structural claims: flow state stays pinned at the LRU cap,
+    # dedup keeps firing, runtime does not follow the population, and
+    # the heavy-tailed open-loop load actually drives the mailbox
+    # nodes into buffered mode.
+    values["flows_bounded"] = all(v <= 512 for v in flows)
+    values["dedup_active"] = all(
+        v > 0 for v in curves["mailbox_dup_suppressed"]
+    )
+    values["cost_scale_invariant"] = \
+        max(elapsed) <= 1.2 * min(elapsed)
+    values["buffered_under_load"] = all(
+        v > 0 for v in curves["buffered_fraction"]
+    )
+    h2h = result.head_to_head
+    base_runtime = h2h["twocase"]["elapsed_cycles"]
+    for kind, row in h2h.items():
+        values[f"h2h_buffered_pct_{kind}"] = \
+            row["buffered_fraction"] * 100
+    values["h2h_zerocopy_rel_runtime"] = \
+        h2h["zerocopy"]["elapsed_cycles"] / base_runtime
+    values["h2h_damq_rel_runtime"] = \
+        h2h["damq"]["elapsed_cycles"] / base_runtime
+    values["h2h_damq_evictions"] = h2h["damq"]["damq_evictions"]
+    doc = {
+        "clients": list(result.clients),
+        "curves": {name: list(series)
+                   for name, series in curves.items()},
+        "head_to_head": {kind: dict(row)
+                         for kind, row in h2h.items()},
+    }
+    return ArtifactRun(artifact="mailbox_scaling", values=values,
+                       doc=doc)
+
+
+_MAILBOX = ArtifactSpec(
+    id="mailbox_scaling",
+    title="Mailbox scaling: internet-scale client populations on "
+          "two-case delivery",
+    source="tests/integration/test_mailbox.py",
+    command="python -m repro mailbox",
+    quantities=(
+        Quantity("buffered_pct_1000", "exact", unit="%",
+                 note="buffered fraction at 1k clients "
+                      "(deterministic)"),
+        Quantity("buffered_pct_100000", "exact", unit="%",
+                 note="buffered fraction at 100k clients"),
+        Quantity("buffered_pct_1000000", "exact", unit="%",
+                 note="buffered fraction at 1M clients"),
+        Quantity("flows_peak_1000000", "exact", unit="flows",
+                 note="resident flow objects at 1M clients; the LRU "
+                      "cap is 512"),
+        Quantity("overflow_drops_100000", "exact",
+                 note="mailbox-capacity drops at 100k clients"),
+        Quantity("dup_suppressed_1000000", "exact",
+                 note="duplicate submissions absorbed by the dedup "
+                      "cache at 1M clients"),
+        Quantity("retrieval_latency_mean_100000", "relative",
+                 tolerance=0.05, unit="cycles",
+                 note="mean enqueue-to-delivery latency at 100k "
+                      "clients"),
+        Quantity("pages_peak", "exact", unit="pages",
+                 note="peak software-buffer pages across all scales"),
+        Quantity("flows_bounded", "predicate", paper=True,
+                 note="O(active-flows) memory: resident flow state "
+                      "never exceeds the cap at any population"),
+        Quantity("dedup_active", "predicate", paper=True,
+                 note="duplicate-sending clients are suppressed at "
+                      "every scale"),
+        Quantity("cost_scale_invariant", "predicate", paper=True,
+                 note="runtime tracks message count, not client "
+                      "count (1M clients ≤ 1.2x the 1k runtime)"),
+        Quantity("buffered_under_load", "predicate", paper=True,
+                 note="heavy-tailed open-loop fan-in drives the "
+                      "mailbox nodes into buffered mode"),
+        Quantity("h2h_buffered_pct_twocase", "exact", unit="%"),
+        Quantity("h2h_buffered_pct_zerocopy", "exact", unit="%"),
+        Quantity("h2h_buffered_pct_damq", "exact", unit="%"),
+        Quantity("h2h_zerocopy_rel_runtime", "relative",
+                 tolerance=0.05,
+                 note="zero-copy-ring runtime / two-case runtime on "
+                      "the 100k-client workload"),
+        Quantity("h2h_damq_rel_runtime", "relative", tolerance=0.05,
+                 note="DAMQ runtime / two-case runtime"),
+        Quantity("h2h_damq_evictions", "exact",
+                 note="occupancy-pressure evictions under the "
+                      "mailbox workload (deterministic)"),
+    ),
+    producer=_produce_mailbox,
+)
+
+
 #: Registry, in report/document order.
 ARTIFACTS: Dict[str, ArtifactSpec] = {
     spec.id: spec
     for spec in (_TABLE4, _TABLE5, _TABLE6, _FIG7, _FIG8, _FIG9,
-                 _FIG10, _ABLATIONS, _DELIVERY)
+                 _FIG10, _ABLATIONS, _DELIVERY, _MAILBOX)
 }
 
 ARTIFACT_IDS: Tuple[str, ...] = tuple(ARTIFACTS)

@@ -235,6 +235,46 @@ def _tables_delivery(doc: Dict[str, Any]) -> List[Table]:
     )]
 
 
+def _tables_mailbox(doc: Dict[str, Any]) -> List[Table]:
+    curves = doc["curves"]
+    scaling_rows = []
+    for i, clients in enumerate(doc["clients"]):
+        scaling_rows.append([
+            format_count(int(clients)),
+            format_count(int(curves["elapsed_cycles"][i])),
+            _f(curves["buffered_fraction"][i] * 100, 1),
+            format_count(int(curves["mailbox_active_flows_peak"][i])),
+            format_count(int(curves["mailbox_occupancy_peak"][i])),
+            format_count(int(curves["mailbox_overflow_drops"][i])),
+            format_count(int(curves["mailbox_dup_suppressed"][i])),
+            _f(curves["retrieval_latency_mean"][i], 0),
+            format_count(int(curves["max_buffer_pages"][i])),
+        ])
+    scaling = ("Mailbox scaling vs logical client population "
+               "(flow-table cap: 512)",
+               ["clients", "runtime (cycles)", "% buffered",
+                "flows peak", "occupancy peak", "overflow drops",
+                "dups suppressed", "retrieval latency", "buffer pages"],
+               scaling_rows)
+    h2h_rows = []
+    for kind, row in doc["head_to_head"].items():
+        h2h_rows.append([
+            kind,
+            format_count(int(row["elapsed_cycles"])),
+            _f(row["buffered_fraction"] * 100, 1),
+            _f(row["retrieval_latency_mean"], 0),
+            format_count(int(row["mailbox_occupancy_peak"])),
+            format_count(int(row["pinned_pages_peak"])),
+            format_count(int(row["damq_evictions"])),
+        ])
+    h2h = ("Delivery disciplines on the 100k-client mailbox workload",
+           ["discipline", "runtime (cycles)", "% buffered",
+            "retrieval latency", "occupancy peak", "pinned pages",
+            "evictions"],
+           h2h_rows)
+    return [scaling, h2h]
+
+
 # ----------------------------------------------------------------------
 # Per-artifact plots
 # ----------------------------------------------------------------------
@@ -270,6 +310,7 @@ _TABLE_BUILDERS = {
     "fig10": _tables_fig10,
     "ablations": _tables_ablations,
     "delivery_headtohead": _tables_delivery,
+    "mailbox_scaling": _tables_mailbox,
 }
 
 _PLOT_BUILDERS = {

@@ -35,6 +35,44 @@ plan_strategy = st.builds(
     page_fault_rate=st.floats(min_value=0.0, max_value=0.1),
 )
 
+#: Messy-but-valid ``pairs=`` spellings: whitespace, empty chunks and
+#: duplicate entries, all of which __post_init__ must canonicalize.
+_pair = st.tuples(st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=7))
+pairs_strategy = st.one_of(
+    st.just(""),
+    st.just(" ; "),   # degenerate: only empty chunks
+    st.tuples(
+        st.lists(_pair, max_size=4),
+        st.sampled_from(["", " "]),        # optional padding
+        st.booleans(),                     # trailing separator
+    ).map(lambda t: ";".join(
+        f"{t[1]}{a}-{b}{t[1]}" for a, b in t[0] + t[0]   # duplicates
+    ) + (";" if t[2] and t[0] else "")),
+)
+
+#: The *full* field product — every FaultPlan field, including the
+#: ``pairs`` restriction and ``spare_kernel``, which the original
+#: roundtrip property left uncovered.
+full_plan_strategy = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop=st.floats(min_value=0.0, max_value=1.0),
+    duplicate=st.floats(min_value=0.0, max_value=1.0),
+    reorder=st.integers(min_value=0, max_value=5_000),
+    spike=st.floats(min_value=0.0, max_value=1.0),
+    spike_cycles=st.integers(min_value=0, max_value=50_000),
+    stall=st.floats(min_value=0.0, max_value=1.0),
+    stall_cycles=st.integers(min_value=0, max_value=50_000),
+    expiries=st.integers(min_value=0, max_value=20),
+    expiry_horizon=st.integers(min_value=0, max_value=5_000_000),
+    page_fault_rate=st.floats(min_value=0.0, max_value=1.0),
+    mailbox_crashes=st.integers(min_value=0, max_value=5),
+    mailbox_crash_horizon=st.integers(min_value=0, max_value=5_000_000),
+    pairs=pairs_strategy,
+    spare_kernel=st.booleans(),
+)
+
 
 @given(plan=plan_strategy,
        seed=st.integers(min_value=1, max_value=50),
@@ -54,10 +92,15 @@ def test_random_fault_plans_yield_zero_violations(plan, seed, num_nodes):
     assert not transport.gave_up
 
 
-@given(plan=plan_strategy)
-@settings(max_examples=100, deadline=None)
+@given(plan=full_plan_strategy)
+@settings(max_examples=200, deadline=None)
 def test_plan_describe_parse_roundtrip(plan):
-    """describe() is a lossless canonical form (cache-key safety)."""
+    """describe() is a lossless canonical form (cache-key safety).
+
+    Covers the *full* field product — including ``pairs`` restrictions
+    (messy spellings canonicalized by ``__post_init__``), zero-rate
+    entries and ``spare_kernel`` — not just the fabric-fault subset.
+    """
     text = plan.describe()
     parsed = FaultPlan.parse(text)
     if text == "":
@@ -69,7 +112,20 @@ def test_plan_describe_parse_roundtrip(plan):
         assert parsed.describe() == text
 
 
-@given(plan=plan_strategy)
+def test_messy_pairs_spellings_canonicalize_and_roundtrip():
+    """Regression: whitespace/duplicate/empty-chunk ``pairs`` used to
+    describe to a string that parsed back to a *different* plan."""
+    assert FaultPlan(pairs=" 0-1 ; ").pairs == "0-1"
+    assert FaultPlan(pairs="2-0;0-1;2-0").pairs == "0-1;2-0"
+    assert FaultPlan(pairs=" ; ").pairs == ""   # empty restriction
+    for messy in (" 0-1 ;", "0-1;0-1", " ; ", "3-2 ; 0-1"):
+        plan = FaultPlan(drop=0.5, pairs=messy)
+        assert FaultPlan.parse(plan.describe()) == plan
+    # The canonical form is order- and spelling-insensitive.
+    assert FaultPlan(pairs="2-0; 0-1") == FaultPlan(pairs="0-1;2-0")
+
+
+@given(plan=full_plan_strategy)
 @settings(max_examples=50, deadline=None)
 def test_faulted_and_fault_free_specs_never_collide(plan):
     """A plan in the spec always moves the cache key."""

@@ -152,6 +152,61 @@ class TestCachePrune:
         report = cache.prune()
         assert report.removed == 0 and report.kept == 0
 
+    def test_prune_survives_files_deleted_mid_prune(self, tmp_path,
+                                                    monkeypatch):
+        """A concurrent writer/pruner deleting a globbed file between
+        the staleness check and the unlink must not abort the prune —
+        the race is counted in ``missing`` and the walk completes."""
+        cache = ResultCache(tmp_path)
+        specs = [RunSpec.make("multiprog", seed=seed) for seed in range(3)]
+        for spec in specs:
+            cache.put(spec, _metrics())
+        # Resolve before the version bump: spec_key embeds the version.
+        victim = cache._path(specs[0])
+
+        from repro.core import costs
+        monkeypatch.setattr(costs, "COST_MODEL_VERSION",
+                            costs.COST_MODEL_VERSION + 1)
+        fresh = RunSpec.make("multiprog", seed=99)
+        cache.put(fresh, _metrics())
+        real_is_stale = ResultCache._is_stale
+
+        def racing_is_stale(path):
+            stale = real_is_stale(path)
+            if path == victim and path.exists():
+                path.unlink()  # the concurrent party wins the race
+            return stale
+
+        monkeypatch.setattr(ResultCache, "_is_stale",
+                            staticmethod(racing_is_stale))
+        report = cache.prune()
+        assert report.missing == 1      # the raced victim
+        assert report.stale == 2        # the other stale entries
+        assert report.kept == 1         # the fresh entry survives
+        assert report.removed == 2
+        assert cache.get(fresh) is not None
+
+    def test_prune_counts_tmp_files_deleted_mid_prune(self, tmp_path,
+                                                      monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec.make("multiprog", seed=1), _metrics())
+        orphan = tmp_path / "orphan.tmp"
+        orphan.write_text("", encoding="utf-8")
+
+        from pathlib import Path
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            if self == orphan:
+                real_unlink(self)           # someone else got it first
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        report = cache.prune()
+        assert report.tmp == 0
+        assert report.missing == 1
+        assert report.kept == 1
+
     def test_clear_also_removes_tmp_files(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(RunSpec.make("multiprog", seed=1), _metrics())

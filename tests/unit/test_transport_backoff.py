@@ -1,0 +1,154 @@
+"""Regression tests for the unified transport backoff cap.
+
+ISSUE 8 satellite: the retransmit path used to cap only the shift
+exponent (``retry_timeout << min(attempts, 6)``) while the raw-send
+credit wait hardcoded ``min(backoff * 2, 4096)`` — a non-default
+``retry_timeout``/``backoff`` could blow past the atomicity window on
+one path but not the other. Both now clamp to
+:func:`repro.core.costs.transport_backoff_cap`.
+"""
+
+from repro.core import costs
+from repro.network.message import Message
+from repro.protocols.reliable import ReliableTransport, _Outstanding
+
+
+class _FakeEntry:
+    def cancel(self) -> None:
+        pass
+
+
+class _FakeEngine:
+    """Records every scheduled delay instead of running callbacks."""
+
+    def __init__(self) -> None:
+        self.delays = []
+        self.calls = []
+
+    def call_after(self, delay, fn, *args):
+        self.delays.append(delay)
+        self.calls.append((delay, fn, args))
+        return _FakeEntry()
+
+
+class _NoCreditFabric:
+    def has_credit(self, dst) -> bool:
+        return False
+
+
+class _FakeMachine:
+    def __init__(self) -> None:
+        self.engine = _FakeEngine()
+        self.fabric = _NoCreditFabric()
+
+
+def test_cap_function_matches_historical_defaults():
+    # Default retransmit ceiling: 4,000 << 6 == the absolute cap.
+    assert costs.transport_backoff_cap(4_000) == 256_000
+    assert costs.transport_backoff_cap(4_000) == costs.TRANSPORT_BACKOFF_CAP
+    # Default credit-wait ceiling: 64 << 6 == the historical 4096.
+    assert costs.transport_backoff_cap(64) == 4_096
+
+
+def _drive_retries(retry_timeout: int, attempts: int):
+    """Run the retransmit path ``attempts`` times against a creditless
+    fabric and return every scheduled backoff delay."""
+    transport = ReliableTransport(2, retry_timeout=retry_timeout,
+                                  max_retries=attempts + 1)
+    machine = _FakeMachine()
+    transport._machine = machine
+    key = (0, 1, 0)
+    transport._outstanding[key] = _Outstanding((0,), gid=1)
+    for _ in range(attempts):
+        transport._retry(key)
+    return machine.engine.delays
+
+
+def test_default_retry_timeout_delays_are_unchanged():
+    delays = _drive_retries(retry_timeout=4_000, attempts=10)
+    # No credit: attempts stays 0, so every delay is the base shift.
+    assert delays == [4_000] * 10
+
+
+def test_non_default_retry_timeout_clamps_to_named_cap():
+    # 100,000 << 6 would be 6.4M cycles — far past the atomicity
+    # window. Grow attempts manually to exercise the full exponent.
+    transport = ReliableTransport(2, retry_timeout=100_000, max_retries=50)
+    machine = _FakeMachine()
+    transport._machine = machine
+    key = (0, 1, 0)
+    out = _Outstanding((0,), gid=1)
+    transport._outstanding[key] = out
+    for attempts in range(0, 10):
+        out.attempts = attempts
+        transport._retry(key)
+    assert max(machine.engine.delays) == costs.TRANSPORT_BACKOFF_CAP
+    assert all(d <= costs.TRANSPORT_BACKOFF_CAP
+               for d in machine.engine.delays)
+
+
+def test_raw_send_default_backoff_keeps_historical_4096_cap():
+    transport = ReliableTransport(2)
+    machine = _FakeMachine()
+    message = Message(dst=1, handler=None, payload=(), src=0, gid=1)
+    transport._raw_send(machine, message)
+    # Re-fire the boxed continuation until the backoff stops growing.
+    for _ in range(16):
+        _delay, _fn, args = machine.engine.calls[-1]
+        transport._raw_send_boxed(args[0])
+    assert max(machine.engine.delays) == 4_096
+    assert machine.engine.delays[0] == 64
+
+
+def test_raw_send_non_default_backoff_clamps_to_named_cap():
+    transport = ReliableTransport(2)
+    machine = _FakeMachine()
+    message = Message(dst=1, handler=None, payload=(), src=0, gid=1)
+    transport._raw_send(machine, message, backoff=10_000)
+    for _ in range(16):
+        _delay, _fn, args = machine.engine.calls[-1]
+        transport._raw_send_boxed(args[0])
+    # 10,000 << 6 = 640,000 exceeds the absolute ceiling; the shared
+    # cap clamps the credit wait exactly like the retransmit timer.
+    assert max(machine.engine.delays) == costs.TRANSPORT_BACKOFF_CAP
+    assert all(d <= costs.TRANSPORT_BACKOFF_CAP
+               for d in machine.engine.delays)
+
+
+class _FakeRuntime:
+    node_index = 0
+
+    def dispose_current(self):
+        return iter(())
+
+
+def _exhaust(gen):
+    for _ in gen:
+        pass
+
+
+def test_late_ack_repairs_gave_up_ledger():
+    """A send whose retry budget exhausted is recorded as a planned
+    loss — but if the receiver acks it afterwards (the copy sat in a
+    deep software buffer longer than the whole retry schedule), the
+    message was delivered and the loss ledger must self-repair."""
+    transport = ReliableTransport(2)
+    key = (0, 1, 5)
+    transport.gave_up.add(key)
+
+    class _Msg:
+        payload = (1, 5)  # acker node 1, seq 5
+
+    _exhaust(transport._h_ack(_FakeRuntime(), _Msg()))
+    assert key not in transport.gave_up
+
+
+def test_duplicate_ack_after_normal_delivery_is_harmless():
+    transport = ReliableTransport(2)
+
+    class _Msg:
+        payload = (1, 7)
+
+    # No outstanding state, nothing in gave_up: a plain duplicate ack.
+    _exhaust(transport._h_ack(_FakeRuntime(), _Msg()))
+    assert not transport.gave_up and not transport._outstanding
