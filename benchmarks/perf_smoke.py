@@ -1,6 +1,6 @@
 """Perf smoke benchmark: seed and track the repo's perf trajectory.
 
-Times five things and writes ``BENCH_runner.json`` plus
+Times six things and writes ``BENCH_runner.json`` plus
 ``BENCH_obs.json``:
 
 * **engine microbenchmark** — raw discrete-event throughput
@@ -21,6 +21,11 @@ Times five things and writes ``BENCH_runner.json`` plus
   lambda/closure allocation), the engine/fabric/NI fast-path hit
   counters, and a bit-identity check of the run metrics against the
   same run forced down the general path via ``REPRO_NO_FASTPATH``;
+* **sharded execution** — one rack-local synth workload run
+  single-process and through :func:`repro.shard.run_sharded` (one
+  worker process per node group), asserting bit-identical
+  :class:`RunMetrics` and recording the multi-shard aggregate
+  events/second against the single-process baseline;
 * **observability overhead** — one multiprogrammed run with the
   :class:`~repro.obs.Observatory` disabled vs enabled (best of N),
   asserting the metrics stay bit-identical and gating the events/sec
@@ -309,6 +314,81 @@ def bench_fastpath(repeats: int = 3) -> dict:
     }
 
 
+def bench_shard(shards: int = 2,
+                messages_per_node: int = 2000) -> dict:
+    """Sharded free-run vs single-process on the same synth workload.
+
+    Runs one rack-local synth-10 workload (traffic confined to
+    ``shards`` contiguous node groups, so the shard layer can free-run
+    without barriers) twice: single-process, and through
+    :func:`repro.shard.run_sharded` with one worker per group. The gate
+    requires bit-identical :class:`RunMetrics` always, and — when the
+    sharded path actually ran multi-process on a multi-core box — an
+    aggregate events/second (sum of per-shard engine events over the
+    coordinator's wall clock) above the single-process baseline.
+    """
+    from repro.apps.synth import SynthApplication
+    from repro.experiments.synth_sweeps import SYNTH_SKEW, T_HAND, \
+        run_synth
+
+    num_nodes = 2 * shards
+    config = SimulationConfig(num_nodes=num_nodes, seed=1,
+                              skew_fraction=SYNTH_SKEW,
+                              timeslice=500_000)
+    app = SynthApplication(group_size=10, t_betw=275, t_hand=T_HAND,
+                           total_messages_per_node=messages_per_node,
+                           num_nodes=num_nodes, seed=1,
+                           locality_groups=shards)
+    machine = Machine(config)
+    job = machine.add_job(app)
+    machine.add_job(NullApplication())
+    machine.start()
+    start = time.perf_counter()
+    machine.run_until_job_done(job, limit=50_000_000_000)
+    serial_wall = time.perf_counter() - start
+    serial_metrics = collect_metrics(machine, job)
+    serial_events = machine.engine.events_executed
+    serial_eps = serial_events / serial_wall
+
+    extra: dict = {}
+    info: dict = {}
+    sharded_metrics = run_synth(
+        10, 275, seed=1, messages_per_node=messages_per_node,
+        shards=shards, locality_groups=shards, num_nodes=num_nodes,
+        extra_out=extra, info=info)
+
+    mode = extra.get("shard_mode")
+    shard_events = info.get("shard_events", [])
+    sharded_wall = info.get("wall_seconds", 0.0)
+    aggregate_eps = (sum(shard_events) / sharded_wall
+                     if sharded_wall else 0.0)
+    identical = asdict(serial_metrics) == asdict(sharded_metrics)
+    multi_core = (os.cpu_count() or 1) >= 2
+    # On a single-core box (or when fork is unavailable and the shard
+    # layer fell back to serial) there is no speedup to demand.
+    speedup_required = multi_core and mode == "free-run"
+    return {
+        "shards": shards,
+        "num_nodes": num_nodes,
+        "messages_per_node": messages_per_node,
+        "mode": mode,
+        "serial_wall_seconds": serial_wall,
+        "serial_events": serial_events,
+        "serial_events_per_second": serial_eps,
+        "sharded_wall_seconds": sharded_wall,
+        "shard_events": shard_events,
+        "aggregate_events_per_second": aggregate_eps,
+        "speedup": aggregate_eps / serial_eps if serial_eps else 0.0,
+        "epochs": extra.get("shard_epochs"),
+        "cross_shard_messages": extra.get("cross_shard_messages"),
+        "serial_fallbacks": extra.get("serial_fallbacks"),
+        "metrics_identical": identical,
+        "speedup_required": speedup_required,
+        "gate_ok": identical and (
+            not speedup_required or aggregate_eps > serial_eps),
+    }
+
+
 def _obs_run(obs_interval=None, profile=False):
     """One multiprogrammed barrier-vs-null run, timed.
 
@@ -401,6 +481,7 @@ def main(argv=None) -> int:
         "engine_cancellation": bench_engine_cancellation(),
         "sweep": bench_sweep(jobs),
         "fastpath": bench_fastpath(),
+        "shard": bench_shard(),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -420,6 +501,7 @@ def main(argv=None) -> int:
     events = report["engine_events"]["events_per_second"]
     sweep = report["sweep"]
     fastpath = report["fastpath"]
+    shard = report["shard"]
     print(f"engine: {events:,.0f} events/s")
     print(f"sweep ({sweep['runs']} runs): serial "
           f"{sweep['serial_wall_seconds']:.2f}s, jobs={sweep['jobs']} "
@@ -438,6 +520,11 @@ def main(argv=None) -> int:
           f"{fastpath['closures_scheduled']} closures scheduled, "
           f"identical vs general: "
           f"{fastpath['metrics_identical_vs_general']}")
+    print(f"shard: {shard['shards']} shards ({shard['mode']}), serial "
+          f"{shard['serial_events_per_second']:,.0f} events/s, "
+          f"aggregate {shard['aggregate_events_per_second']:,.0f} "
+          f"events/s (speedup {shard['speedup']:.2f}x), "
+          f"identical: {shard['metrics_identical']}")
     print(f"obs: disabled {obs['disabled_events_per_second']:,.0f} "
           f"events/s, enabled {obs['enabled_events_per_second']:,.0f} "
           f"events/s (overhead {obs['overhead_fraction']:+.1%}, "
@@ -450,6 +537,7 @@ def main(argv=None) -> int:
     return 0 if (sweep["serial_parallel_identical"]
                  and sweep["cache_replay_identical"]
                  and fastpath["gate_ok"]
+                 and shard["gate_ok"]
                  and obs["gate_ok"]) else 1
 
 

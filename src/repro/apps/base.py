@@ -28,9 +28,25 @@ class Application(abc.ABC):
     #: Job name (also used for the GID label and reports).
     name: str = "app"
 
+    #: False for workloads that never send or receive a message; the
+    #: shard coordinator ignores them when deciding whether a partition
+    #: admits any cross-shard traffic.
+    communicates: bool = True
+
     @abc.abstractmethod
     def main(self, rt: UdmRuntime, node_index: int) -> Generator:
         """The per-node main thread; a generator coroutine."""
+
+    def traffic_locality_groups(self):
+        """Static traffic locality, if the workload can promise one.
+
+        Either None (traffic may touch any node pair — the safe
+        default) or an iterable of node-id groups such that every
+        message this application ever sends stays within one group.
+        The shard coordinator free-runs (no synchronization barriers)
+        when all declared groups nest inside single shards.
+        """
+        return None
 
     def describe(self) -> str:
         """One-line workload description for reports."""

@@ -19,6 +19,7 @@ class NullApplication(Application):
     """Pure computation; never sends or receives a message."""
 
     name = "null"
+    communicates = False
 
     def __init__(self, chunk_cycles: int = 10_000) -> None:
         if chunk_cycles <= 0:

@@ -35,21 +35,51 @@ class SynthApplication(Application):
 
     def __init__(self, group_size: int = 100, t_betw: int = 500,
                  t_hand: int = 290, total_messages_per_node: int = 2000,
-                 num_nodes: int = 4, seed: int = 1) -> None:
+                 num_nodes: int = 4, seed: int = 1,
+                 locality_groups: int = 0) -> None:
         if group_size < 1:
             raise ValueError("group size must be at least 1")
         if num_nodes < 2:
             raise ValueError("producer/consumer needs at least two nodes")
+        if locality_groups:
+            if num_nodes % locality_groups:
+                raise ValueError(
+                    "locality groups must divide the node count"
+                )
+            if num_nodes // locality_groups < 2:
+                raise ValueError(
+                    "each locality group needs at least two nodes"
+                )
         self.group_size = group_size
         self.t_betw = t_betw
         self.t_hand = t_hand
         self.total_messages_per_node = total_messages_per_node
         self.num_nodes = num_nodes
         self.seed = seed
+        #: 0 keeps the paper's all-to-all peer choice; N > 0 confines
+        #: each node's random destinations to its contiguous group of
+        #: ``num_nodes // N`` nodes (the internet-scale "rack locality"
+        #: variant, and what lets sharded execution free-run).
+        self.locality_groups = locality_groups
         self.name = f"synth-{group_size}"
         # Per-node acknowledgement counters (node-local state).
         self._acks: List[int] = [0] * num_nodes
         self.replies_received: List[int] = [0] * num_nodes
+
+    def _peers(self, node_index: int) -> List[int]:
+        """The destinations this node may address."""
+        if not self.locality_groups:
+            return [n for n in range(self.num_nodes) if n != node_index]
+        size = self.num_nodes // self.locality_groups
+        start = (node_index // size) * size
+        return [n for n in range(start, start + size) if n != node_index]
+
+    def traffic_locality_groups(self):
+        if not self.locality_groups:
+            return None
+        size = self.num_nodes // self.locality_groups
+        return [tuple(range(start, start + size))
+                for start in range(0, self.num_nodes, size)]
 
     # ------------------------------------------------------------------
     # Handlers
@@ -77,7 +107,7 @@ class SynthApplication(Application):
     # ------------------------------------------------------------------
     def main(self, rt: UdmRuntime, node_index: int) -> Generator:
         rng = DeterministicRng(self.seed, f"synth/{node_index}")
-        others = [n for n in range(self.num_nodes) if n != node_index]
+        others = self._peers(node_index)
         sent = 0
         while sent < self.total_messages_per_node:
             group = min(self.group_size, self.total_messages_per_node - sent)

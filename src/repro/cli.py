@@ -140,6 +140,7 @@ def _cmd_fig9(args) -> None:
 
     result = interval_sweep(trials=args.trials,
                             messages_per_node=args.messages,
+                            shards=args.shards,
                             **_runner_kwargs(args))
     print(render_series(
         "Figure 9: % buffered vs send interval (synth-N, 1% skew)",
@@ -153,12 +154,65 @@ def _cmd_fig10(args) -> None:
 
     result = buffer_cost_sweep(trials=args.trials,
                                messages_per_node=args.messages,
+                               shards=args.shards,
                                **_runner_kwargs(args))
     print(render_series(
         "Figure 10: % buffered vs buffered-path cost (T_betw=275)",
         result.x_label, result.xs, result.series_pairs(),
         y_format="{:.2f}",
     ))
+
+
+def _cmd_shard(args) -> int:
+    """Sharded-execution smoke: run one synth config serially and
+    sharded, show the protocol counters, verify bit-identity."""
+    from dataclasses import asdict
+
+    from repro.experiments.synth_sweeps import run_synth
+
+    kwargs = dict(group_size=args.group, t_betw=args.t_betw,
+                  seed=args.seed, messages_per_node=args.messages,
+                  num_nodes=args.nodes,
+                  locality_groups=args.locality_groups)
+    serial = run_synth(**kwargs)
+    extra: dict = {}
+    info: dict = {}
+    sharded = run_synth(shards=args.shards, extra_out=extra, info=info,
+                        **kwargs)
+    mismatches = [
+        (key, value, asdict(sharded)[key])
+        for key, value in asdict(serial).items()
+        if value != asdict(sharded)[key]
+    ]
+    print(render_table(
+        f"Sharded execution smoke (synth-{args.group}, "
+        f"{args.nodes} nodes, --shards {args.shards})",
+        ["quantity", "value"],
+        [
+            ["mode", extra.get("shard_mode", "?")],
+            ["shard groups", str(extra.get("shard_groups"))],
+            ["lookahead (cycles)", str(extra.get("lookahead"))],
+            ["window barriers", extra.get("shard_epochs", 0)],
+            ["cross-shard messages",
+             extra.get("cross_shard_messages", 0)],
+            ["barrier stalls", extra.get("barrier_stalls", 0)],
+            ["serial fallbacks", extra.get("serial_fallbacks", 0)],
+            ["coupling flags",
+             ", ".join(extra.get("shard_flags", [])) or "none"],
+            ["wall seconds (sharded)",
+             f"{info['wall_seconds']:.3f}" if "wall_seconds" in info
+             else "n/a (serial path)"],
+            ["metrics identical to serial",
+             "yes" if not mismatches else "NO"],
+        ],
+    ))
+    if mismatches:
+        print("\nFAIL: sharded metrics diverge from single-process:")
+        for key, serial_value, sharded_value in mismatches:
+            print(f"  {key}: serial={serial_value!r} "
+                  f"sharded={sharded_value!r}")
+        return 1
+    return 0
 
 
 def _cmd_ablations(args) -> None:
@@ -434,8 +488,30 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help="synth-N sweep")
         p.add_argument("--trials", type=int, default=3)
         p.add_argument("--messages", type=int, default=2000)
+        p.add_argument("--shards", type=int, default=1,
+                       help="shard worker processes per run (results "
+                            "are bit-identical; see docs/SIMULATION.md)")
         _add_runner_flags(p)
         p.set_defaults(fn=fn)
+
+    psh = sub.add_parser(
+        "shard",
+        help="sharded-execution smoke: one synth run serial vs "
+             "sharded, with a bit-identity check")
+    psh.add_argument("--shards", type=int, default=2,
+                     help="shard worker processes (default 2)")
+    psh.add_argument("--nodes", type=int, default=4)
+    psh.add_argument("--group", type=int, default=10,
+                     help="synth-N group size")
+    psh.add_argument("--t-betw", type=int, default=275)
+    psh.add_argument("--messages", type=int, default=50,
+                     help="requests per node")
+    psh.add_argument("--seed", type=int, default=1)
+    psh.add_argument("--locality-groups", type=int, default=0,
+                     help="confine synth traffic to N contiguous node "
+                          "groups (aligned groups let shards free-run "
+                          "without barriers)")
+    psh.set_defaults(fn=_cmd_shard)
 
     pa = sub.add_parser("ablations", help="design-choice ablations")
     _add_runner_flags(pa)

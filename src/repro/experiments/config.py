@@ -83,6 +83,11 @@ class SimulationConfig:
     #: Pinned queue size per job per node (memory-based baseline only).
     pinned_pages_per_job: int = 16
 
+    # Execution (does not change simulated behaviour: sharded runs are
+    # certified bit-identical or re-run single-process; see repro.shard)
+    #: Number of shard worker processes to split the machine across.
+    shards: int = 1
+
     # Reproducibility
     seed: int = 1
 
@@ -106,6 +111,8 @@ class SimulationConfig:
             raise ValueError("zerocopy ring needs at least one word")
         if self.damq_capacity < 1:
             raise ValueError("DAMQ pool needs at least one slot")
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
 
     # ------------------------------------------------------------------
     # Derived objects

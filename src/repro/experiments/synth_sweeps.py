@@ -44,24 +44,34 @@ def execute_synth(group_size: int, t_betw: int, seed: int = 1,
                   buffer_cost_extra: int = 0,
                   messages_per_node: int = 2000,
                   timeslice: int = 500_000,
-                  delivery: str = "twocase"):
+                  delivery: str = "twocase",
+                  shards: int = 1, locality_groups: int = 0,
+                  num_nodes: int = SYNTH_NODES):
     """Runner executor for one synth-N run (kind ``synth``)."""
+    extra: dict = {}
     metrics = run_synth(group_size, t_betw, seed=seed,
                         buffer_cost_extra=buffer_cost_extra,
                         messages_per_node=messages_per_node,
-                        timeslice=timeslice, delivery=delivery)
-    return metrics, {}
+                        timeslice=timeslice, delivery=delivery,
+                        shards=shards, locality_groups=locality_groups,
+                        num_nodes=num_nodes, extra_out=extra)
+    return metrics, extra
 
 
 def synth_spec(group_size: int, t_betw: int, seed: int = 1,
                buffer_cost_extra: int = 0,
                messages_per_node: int = 2000,
                timeslice: int = 500_000,
-               delivery: str = "twocase") -> RunSpec:
+               delivery: str = "twocase",
+               shards: int = 1, locality_groups: int = 0,
+               num_nodes: int = SYNTH_NODES) -> RunSpec:
     """The :class:`RunSpec` describing one synth-N run.
 
-    The delivery discipline joins the spec only when non-default, so
-    pre-existing two-case cache entries stay valid.
+    The delivery discipline, shard count, locality-group count and node
+    count join the spec only when non-default, so pre-existing cache
+    entries stay valid. (``shards`` changes only *how* the run is
+    executed — sharded results are certified bit-identical — but it
+    still joins the key, keeping cache entries honest about provenance.)
     """
     params = dict(group_size=group_size, t_betw=t_betw, seed=seed,
                   buffer_cost_extra=buffer_cost_extra,
@@ -69,6 +79,12 @@ def synth_spec(group_size: int, t_betw: int, seed: int = 1,
                   timeslice=timeslice)
     if delivery != "twocase":
         params["delivery"] = delivery
+    if shards > 1:
+        params["shards"] = shards
+    if locality_groups > 0:
+        params["locality_groups"] = locality_groups
+    if num_nodes != SYNTH_NODES:
+        params["num_nodes"] = num_nodes
     return RunSpec.make("synth", **params)
 
 
@@ -76,23 +92,45 @@ def run_synth(group_size: int, t_betw: int, seed: int = 1,
               buffer_cost_extra: int = 0,
               messages_per_node: int = 2000,
               timeslice: int = 500_000,
-              delivery: str = "twocase") -> RunMetrics:
-    """One synth-N run multiprogrammed against null at 1% skew."""
+              delivery: str = "twocase",
+              shards: int = 1, locality_groups: int = 0,
+              num_nodes: int = SYNTH_NODES,
+              extra_out: Optional[dict] = None,
+              info: Optional[dict] = None) -> RunMetrics:
+    """One synth-N run multiprogrammed against null at 1% skew.
+
+    ``shards > 1`` routes through :func:`repro.shard.run_sharded`
+    (bit-identical metrics or an automatic serial fallback);
+    ``locality_groups`` confines synth traffic to contiguous node
+    groups. ``extra_out`` receives the deterministic shard counters,
+    ``info`` the wall-clock ones (benchmarks only; never cached).
+    """
     config = SimulationConfig(
-        num_nodes=SYNTH_NODES, seed=seed, skew_fraction=SYNTH_SKEW,
+        num_nodes=num_nodes, seed=seed, skew_fraction=SYNTH_SKEW,
         timeslice=timeslice, buffer_insert_extra=buffer_cost_extra,
-        delivery=delivery,
+        delivery=delivery, shards=shards,
     )
-    machine = Machine(config)
     app = SynthApplication(
         group_size=group_size, t_betw=t_betw, t_hand=T_HAND,
         total_messages_per_node=messages_per_node,
-        num_nodes=SYNTH_NODES, seed=seed,
+        num_nodes=num_nodes, seed=seed,
+        locality_groups=locality_groups,
     )
+    apps = [app, NullApplication()]
+    limit = 50_000_000_000
+    if shards > 1:
+        from repro.shard import run_sharded
+
+        metrics, extra = run_sharded(config, apps, measured_index=0,
+                                     limit=limit, info=info)
+        if extra_out is not None:
+            extra_out.update(extra)
+        return metrics
+    machine = Machine(config)
     job = machine.add_job(app)
-    machine.add_job(NullApplication())
+    machine.add_job(apps[1])
     machine.start()
-    machine.run_until_job_done(job, limit=50_000_000_000)
+    machine.run_until_job_done(job, limit=limit)
     return collect_metrics(machine, job)
 
 
@@ -143,11 +181,12 @@ def interval_sweep(intervals: Sequence[int] = DEFAULT_INTERVALS,
                    messages_per_node: int = 2000,
                    jobs: Optional[int] = None,
                    cache: Optional[ResultCache] = None,
-                   ) -> SynthSweepResult:
+                   shards: int = 1) -> SynthSweepResult:
     """Figure 9: buffered % versus send interval."""
     def spec_for(group: int, t_betw: int, seed: int) -> RunSpec:
         return synth_spec(group, t_betw, seed=seed,
-                          messages_per_node=messages_per_node)
+                          messages_per_node=messages_per_node,
+                          shards=shards)
 
     return _run_synth_grid("T_betw", intervals, group_sizes, trials,
                            spec_for, jobs, cache)
@@ -159,14 +198,15 @@ def buffer_cost_sweep(costs: Sequence[int] = DEFAULT_BUFFER_COSTS,
                       messages_per_node: int = 2000,
                       jobs: Optional[int] = None,
                       cache: Optional[ResultCache] = None,
-                      ) -> SynthSweepResult:
+                      shards: int = 1) -> SynthSweepResult:
     """Figure 10: buffered % versus buffered-path cost at T_betw=275."""
     baseline = DEFAULT_BUFFER_COSTS[0]
 
     def spec_for(group: int, cost: int, seed: int) -> RunSpec:
         return synth_spec(group, FIG10_T_BETW, seed=seed,
                           buffer_cost_extra=max(0, cost - baseline),
-                          messages_per_node=messages_per_node)
+                          messages_per_node=messages_per_node,
+                          shards=shards)
 
     return _run_synth_grid("buffered-path cost", costs, group_sizes,
                            trials, spec_for, jobs, cache)

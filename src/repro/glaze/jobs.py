@@ -60,6 +60,10 @@ class JobNodeState:
         self.installed_at = 0
         self.drain_active = False
         self.main_finished = False
+        #: Cycle at which this node's main returned (None while running);
+        #: the shard coordinator merges per-node finish times into the
+        #: whole-job finish time, so it must match the monolithic value.
+        self.main_finish_time: Optional[int] = None
         self.runtime: Optional["UdmRuntime"] = None
 
     @property
@@ -98,6 +102,7 @@ class Job:
         if state.main_finished:
             return
         state.main_finished = True
+        state.main_finish_time = now
         if all(s.main_finished for s in self.node_states.values()):
             self.finish_time = now
             self.done.trigger(now)

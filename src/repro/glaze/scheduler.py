@@ -89,7 +89,10 @@ class GangScheduler:
         self._started = True
         engine = self.machine.engine
         now = engine.now
-        for node in self.machine.nodes:
+        # scheduled_nodes() is every node on a monolithic machine; on a
+        # shard it is just the local group, which is what keeps the
+        # replica's foreign nodes inert (no context switch, no ticks).
+        for node in self.machine.scheduled_nodes():
             self._slot[node.node_id] = 0
             node.kernel.scheduled = None
             node.processor.raise_kernel(node.kernel.context_switch_factory)

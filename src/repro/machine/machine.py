@@ -56,9 +56,7 @@ class Machine:
             per_hop_latency=self.config.net_per_hop_latency,
             per_word_latency=self.config.net_per_word_latency,
         )
-        self.fabric = NetworkFabric(
-            self.engine, self.topology, self.config.fabric_credits
-        )
+        self.fabric = self._build_fabric()
         self.second_network = SecondNetwork(self.engine)
         self.gids = GidAuthority()
         self.overflow = OverflowControl(self.config.overflow)
@@ -95,6 +93,26 @@ class Machine:
         #: mailbox application so metric collection, observability and
         #: the fault injector's crash schedule can reach their state.
         self.mailboxes: List = []
+        #: gid -> application object, so the shard channel can rebind a
+        #: cross-shard message's handler by name on the owning shard.
+        self.apps_by_gid: Dict[int, object] = {}
+        #: Sharded-execution statistics (see repro.shard); populated by
+        #: the shard coordinator, None on ordinary single-process runs
+        #: (the Observatory harvests it as an authoritative zero).
+        self.shard_stats = None
+
+    def _build_fabric(self) -> NetworkFabric:
+        """Fabric factory hook; ShardMachine overrides it to divert
+        cross-shard traffic into the epoch outbox."""
+        return NetworkFabric(
+            self.engine, self.topology, self.config.fabric_credits
+        )
+
+    def scheduled_nodes(self) -> List[Node]:
+        """The nodes the gang scheduler drives. The whole machine here;
+        a ShardMachine narrows this to its own node group so inactive
+        replica nodes stay inert."""
+        return self.nodes
 
     def enable_tracing(self, limit: Optional[int] = 100_000):
         """Record per-message lifecycle events (Figure 2/5 timelines)."""
@@ -196,6 +214,7 @@ class Machine:
             )]
         self.jobs.append(job)
         self._jobs_by_gid[gid] = job
+        self.apps_by_gid[gid] = app
         self.scheduler.add_job(job)
         return job
 

@@ -119,6 +119,8 @@ class Observatory:
             "mailbox.replays", "mailbox.crashes",
             "mailbox.crash_losses", "mailbox.flows_created",
             "mailbox.flows_evicted", "mailbox.dedup_evictions",
+            "shard.epochs", "shard.cross_shard_messages",
+            "shard.barrier_stalls", "shard.serial_fallbacks",
         ):
             reg.counter(name)
         from repro.apps.mailbox import RETRIEVAL_LATENCY_EDGES
@@ -321,6 +323,21 @@ class Observatory:
                     counts[i] += c
             self.h_retrieval_latency.load(
                 counts, sum(s.latency_total for s in mb))
+
+        # Shard-execution counters: populated by the shard coordinator
+        # on a machine it built (the serial-fallback path), None on
+        # ordinary single-process runs — the same authoritative-zero
+        # contract as the mailbox block above. (A certified sharded run
+        # has no single machine for an Observatory to attach to, so an
+        # observed machine is by construction single-process.)
+        shard = getattr(machine, "shard_stats", None)
+        total("shard.epochs", shard.epochs if shard else 0)
+        total("shard.cross_shard_messages",
+              shard.cross_shard_messages if shard else 0)
+        total("shard.barrier_stalls",
+              shard.barrier_stalls if shard else 0)
+        total("shard.serial_fallbacks",
+              shard.serial_fallbacks if shard else 0)
 
         if self.sampler is not None and not self._finalized:
             self.sampler.final_sample()

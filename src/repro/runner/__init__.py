@@ -10,8 +10,8 @@ execution & caching") for the determinism contract and cache layout.
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, PruneReport, ResultCache
 from repro.runner.executor import (
-    RunnerError, RunResult, default_jobs, require_all, run_spec,
-    run_specs,
+    RunnerError, RunResult, default_jobs, fork_available,
+    notice_serial_fallback, require_all, run_spec, run_specs,
 )
 from repro.runner.registry import EXECUTORS, UnknownRunKind, execute_spec
 from repro.runner.spec import RunSpec, spec_key
@@ -20,5 +20,6 @@ __all__ = [
     "DEFAULT_CACHE_DIR", "EXECUTORS", "PruneReport", "ResultCache",
     "RunResult",
     "RunSpec", "RunnerError", "UnknownRunKind", "default_jobs",
-    "execute_spec", "require_all", "run_spec", "run_specs", "spec_key",
+    "execute_spec", "fork_available", "notice_serial_fallback",
+    "require_all", "run_spec", "run_specs", "spec_key",
 ]

@@ -34,6 +34,7 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -118,8 +119,27 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _fork_available() -> bool:
+def fork_available() -> bool:
+    """True when this platform supports the ``fork`` start method.
+
+    The single source of truth for every layer that fans out over
+    processes (the spec executor here, and the shard coordinator in
+    :mod:`repro.shard`); platforms without ``fork`` degrade to serial
+    execution with a one-line notice instead of silence.
+    """
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Back-compat alias (the helper was private before the shard layer
+#: became its second caller).
+_fork_available = fork_available
+
+
+def notice_serial_fallback(what: str) -> None:
+    """Print the one-line degraded-to-serial notice on stderr."""
+    print(f"repro: {what}: 'fork' start method unavailable on this "
+          "platform; falling back to single-process execution",
+          file=sys.stderr)
 
 
 def run_specs(specs: Sequence[RunSpec],
@@ -170,8 +190,10 @@ def run_specs(specs: Sequence[RunSpec],
     if jobs is None:
         jobs = default_jobs()
     effective = max(1, min(jobs, os.cpu_count() or 1))
-    if not _fork_available():
+    if not fork_available():
         parallel, reason = False, "fork unavailable"
+        if mode != "serial" and len(todo) > 1:
+            notice_serial_fallback("run_specs")
     elif not todo:
         parallel, reason = False, "all cached"
     elif mode == "serial":
@@ -254,5 +276,5 @@ def require_all(results: Sequence[RunResult]) -> List[RunMetrics]:
 
 __all__ = [
     "RunResult", "RunnerError", "run_specs", "run_spec", "require_all",
-    "default_jobs",
+    "default_jobs", "fork_available", "notice_serial_fallback",
 ]

@@ -1,0 +1,333 @@
+"""The shard coordinator: optimistic parallel run, certified or redone.
+
+:func:`run_sharded` is two-case delivery applied to the simulator
+itself. The *fast case* partitions the machine into per-node-group
+shards, runs them as forked worker processes under a conservative
+time-window protocol (or barrier-free when application locality aligns
+with the partition), and merges per-shard counters into the exact
+:class:`~repro.analysis.metrics.RunMetrics` the monolithic engine
+would produce. The *buffered case* is the monolithic engine: whenever
+any shard raises a **coupling flag** — a condition under which sharded
+timing is not provably identical (sender blocking, overflow actions,
+same-cycle arrival collisions, unresolvable handlers, messages still in
+flight at finish, a credit limit the occupancy sweep shows was
+reached) — the sharded result is discarded and the run repeats
+serially. Correctness never depends on the fast case; the flags only
+decide who computes the answer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import RunMetrics, collect_metrics
+from repro.machine.machine import Machine
+from repro.runner.executor import fork_available, notice_serial_fallback
+from repro.shard.lookahead import lookahead_for
+from repro.shard.partition import owner_of, partition_nodes
+from repro.shard.worker import shard_worker
+
+
+@dataclass
+class ShardStats:
+    """Shard-execution counters (harvested by the Observatory)."""
+
+    shards: int = 1
+    epochs: int = 0
+    cross_shard_messages: int = 0
+    barrier_stalls: int = 0
+    serial_fallbacks: int = 0
+    flags: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _free_run_possible(apps: Sequence[Any],
+                       groups: Sequence[Tuple[int, ...]]) -> bool:
+    """True when no app can ever address a node outside its shard.
+
+    Requires every communicating application to declare traffic
+    locality groups, each nested inside a single shard group.
+    """
+    shard_sets = [frozenset(group) for group in groups]
+    for app in apps:
+        if not getattr(app, "communicates", True):
+            continue
+        locality = app.traffic_locality_groups()
+        if locality is None:
+            return False
+        for peers in locality:
+            peer_set = frozenset(peers)
+            if not any(peer_set <= shard for shard in shard_sets):
+                return False
+    return True
+
+
+def _occupancy_exceeded(partials: Sequence[Dict[str, Any]],
+                        credits: int) -> bool:
+    """Replay all shards' credit-slot logs; True if any destination's
+    true occupancy ever reached the credit limit at an inject — the
+    point where the monolithic run would have blocked a sender the
+    sharded run let through."""
+    dsts = set()
+    for partial in partials:
+        dsts.update(partial["occ_injects"])
+        dsts.update(partial["occ_releases"])
+    for dst in dsts:
+        events: List[Tuple[int, int]] = []
+        for partial in partials:
+            # Injects sort before releases at equal cycles (order 0
+            # vs 1): the conservative tie-break, over- rather than
+            # under-counting occupancy.
+            events.extend((t, 0) for t in
+                          partial["occ_injects"].get(dst, ()))
+            events.extend((t, 1) for t in
+                          partial["occ_releases"].get(dst, ()))
+        events.sort()
+        occupancy = 0
+        for _, kind in events:
+            if kind == 0:
+                if occupancy >= credits:
+                    return True
+                occupancy += 1
+            else:
+                occupancy -= 1
+    return False
+
+
+def _merge_metrics(config, name: str,
+                   partials: Sequence[Dict[str, Any]]) -> RunMetrics:
+    """Reassemble :func:`collect_metrics` from per-shard sums.
+
+    Every float is computed with the same expression, on the same
+    integers, as the monolithic path — bit-identical, not just close.
+    """
+    elapsed = max(p["local_finish"] for p in partials)
+    total_msgs = sum(p["messages_sent"] for p in partials)
+    num_nodes = config.num_nodes
+    per_node_msgs = total_msgs / num_nodes if num_nodes else 0
+    t_betw = elapsed / per_node_msgs if per_node_msgs else 0.0
+    handler_invocations = sum(p["handler_invocations"] for p in partials)
+    handler_cycles = sum(p["handler_cycles"] for p in partials)
+    t_hand = (handler_cycles / handler_invocations
+              if handler_invocations else 0.0)
+    fast = sum(p["fast_messages"] for p in partials)
+    buffered = sum(p["buffered_messages"] for p in partials)
+    total_two_case = fast + buffered
+    buffered_fraction = (buffered / total_two_case
+                         if total_two_case else 0.0)
+    transitions_to_buffered = sum(
+        count for p in partials
+        for count in p["transitions_to_buffered"].values()
+    )
+    return RunMetrics(
+        name=name,
+        elapsed_cycles=elapsed,
+        messages_sent=total_msgs,
+        fast_messages=fast,
+        buffered_messages=buffered,
+        buffered_fraction=buffered_fraction,
+        max_buffer_pages=max(p["max_buffer_pages"] for p in partials),
+        t_betw=t_betw,
+        t_hand=t_hand,
+        handler_invocations=handler_invocations,
+        transitions_to_buffered=transitions_to_buffered,
+        transitions_to_fast=sum(p["transitions_to_fast"]
+                                for p in partials),
+        revocations=sum(p["revocations"] for p in partials),
+        page_outs=sum(p["page_outs"] for p in partials),
+        overflow_suspensions=sum(p["overflow_suspensions"]
+                                 for p in partials),
+        pinned_pages_peak=max(p["pinned_pages_peak"] for p in partials),
+        delivery_fault_traps=sum(p["delivery_fault_traps"]
+                                 for p in partials),
+        damq_evictions=sum(p["damq_evictions"] for p in partials),
+        damq_peak_occupancy=max(p["damq_peak_occupancy"]
+                                for p in partials),
+    )
+
+
+def _run_serial(config, apps: Sequence[Any], measured_index: int,
+                limit: Optional[int], stats: ShardStats,
+                ) -> Tuple[RunMetrics, Machine]:
+    machine = Machine(config)
+    jobs = [machine.add_job(app) for app in apps]
+    machine.shard_stats = stats
+    machine.run_until_job_done(jobs[measured_index], limit=limit)
+    return collect_metrics(machine, jobs[measured_index]), machine
+
+
+def run_sharded(config, apps: Sequence[Any], measured_index: int = 0,
+                limit: Optional[int] = None,
+                info: Optional[Dict[str, Any]] = None,
+                ) -> Tuple[RunMetrics, Dict[str, Any]]:
+    """Run one job across shard processes; fall back serially if the
+    result cannot be certified identical.
+
+    ``apps`` are *pristine* application instances (never added to a
+    machine); workers fork before touching them, so the parent's copies
+    stay reusable for the serial fallback. Returns ``(metrics, extra)``
+    where ``extra`` carries only deterministic shard counters (safe for
+    the result cache). Wall-clock per-shard numbers go into ``info``
+    when given (benchmarks read them; caches must not).
+    """
+    groups = partition_nodes(config.num_nodes, config.shards)
+    name = getattr(apps[measured_index], "name", "job")
+    stats = ShardStats(shards=len(groups))
+
+    def serial(mode: str, reason: str) -> Tuple[RunMetrics, Dict[str, Any]]:
+        if mode == "serial-fallback":
+            stats.serial_fallbacks = 1
+            print(f"repro: shards={len(groups)}: {reason}; "
+                  "re-running single-process", file=sys.stderr)
+        metrics, _ = _run_serial(config, apps, measured_index, limit,
+                                 stats)
+        return metrics, _extra(mode, groups, None, stats)
+
+    if len(groups) <= 1:
+        return serial("serial", "single shard")
+    plan = getattr(config, "faults", None)
+    if plan is not None and not plan.is_null():
+        # Fault injection couples shards through the injector's global
+        # seeded schedule; not worth distributing.
+        return serial("serial", "fault plan")
+    if not fork_available():
+        notice_serial_fallback("run_sharded")
+        return serial("serial", "fork unavailable")
+
+    free_run = _free_run_possible(apps, groups)
+    lookahead = None if free_run else lookahead_for(config, groups)
+    started = time.perf_counter()
+    outcome = _run_workers(config, apps, measured_index, limit, groups,
+                           lookahead, stats)
+    if isinstance(outcome, str):
+        return serial("serial-fallback", outcome)
+    partials = outcome
+    flags = sorted(set().union(*(p["flags"] for p in partials)))
+    if free_run and any(p["cross_shard_sends"] for p in partials):
+        flags.append("cross-shard-traffic-in-free-run")
+    if not free_run and _occupancy_exceeded(partials,
+                                            config.fabric_credits):
+        flags.append("credit-limit-reached")
+    if flags:
+        stats.flags = tuple(flags)
+        return serial("serial-fallback",
+                      "coupling flags: " + ", ".join(flags))
+
+    if info is not None:
+        info["shard_events"] = [p["events_executed"] for p in partials]
+        info["shard_wall_seconds"] = [p["wall_seconds"]
+                                      for p in partials]
+        info["wall_seconds"] = time.perf_counter() - started
+    metrics = _merge_metrics(config, name, partials)
+    mode = "free-run" if free_run else "windowed"
+    return metrics, _extra(mode, groups, lookahead, stats)
+
+
+def _extra(mode: str, groups, lookahead,
+           stats: ShardStats) -> Dict[str, Any]:
+    return {
+        "shard_mode": mode,
+        "shards": stats.shards,
+        "shard_groups": [list(group) for group in groups],
+        "lookahead": lookahead,
+        "shard_epochs": stats.epochs,
+        "cross_shard_messages": stats.cross_shard_messages,
+        "barrier_stalls": stats.barrier_stalls,
+        "serial_fallbacks": stats.serial_fallbacks,
+        "shard_flags": list(stats.flags),
+    }
+
+
+def _run_workers(config, apps, measured_index, limit, groups,
+                 lookahead, stats: ShardStats):
+    """Spawn one forked worker per shard and drive the barriers.
+
+    Returns the list of per-shard harvest dicts, or an error string
+    (worker traceback / protocol breakdown) meaning "fall back".
+    """
+    context = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+    try:
+        for index in range(len(groups)):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=shard_worker,
+                args=(child_conn, index, groups, config, apps,
+                      measured_index, lookahead, limit),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        if lookahead is not None:
+            error = _drive_barriers(conns, groups, stats)
+            if error is not None:
+                return error
+
+        partials: List[Optional[Dict[str, Any]]] = [None] * len(conns)
+        for index, conn in enumerate(conns):
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                return f"shard {index} died without a result"
+            if kind == "error":
+                return f"shard {index} failed:\n{payload}"
+            partials[index] = payload
+        return partials
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - cleanup path
+                proc.terminate()
+                proc.join()
+
+
+def _drive_barriers(conns, groups, stats: ShardStats) -> Optional[str]:
+    """The conservative window loop: collect outboxes, route, repeat.
+
+    Termination: every shard reports local completion, nothing was
+    exchanged this barrier, and no shard holds in-flight traffic — so
+    no future window can contain any event that touches the job.
+    """
+    while True:
+        reports = []
+        for index, conn in enumerate(conns):
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return f"shard {index} died mid-protocol"
+            if message[0] == "error":
+                return f"shard {index} failed:\n{message[1]}"
+            if message[0] != "epoch":  # pragma: no cover - protocol bug
+                return f"shard {index} sent unexpected {message[0]!r}"
+            reports.append(message)
+        stats.epochs += 1
+        inbound: List[List[Any]] = [[] for _ in conns]
+        exchanged = 0
+        for _, _, encoded, _, _, executed in reports:
+            if not executed:
+                stats.barrier_stalls += 1
+            for wire, origin in encoded:
+                owner = owner_of(groups, wire[1])  # wire[1] is dst
+                inbound[owner].append((wire, origin))
+                exchanged += 1
+        stats.cross_shard_messages += exchanged
+        all_done = all(report[3] for report in reports)
+        in_flight = sum(report[4] for report in reports)
+        if all_done and not exchanged and not in_flight:
+            for conn in conns:
+                conn.send(("finish",))
+            return None
+        for conn, batch in zip(conns, inbound):
+            conn.send(("continue", batch))
+
+
+__all__ = ["ShardStats", "run_sharded"]

@@ -1,0 +1,65 @@
+"""Conservative lookahead derivation for the time-window protocol.
+
+The synchronization window length is the fabric's **minimum end-to-end
+latency between any cross-shard node pair**: a message launched at
+cycle ``t`` cannot arrive before ``t + L`` (the topology's latency is
+monotonically non-decreasing in hop count and message length, and the
+per-pair FIFO floor only ever pushes arrivals *later*), so a shard that
+has executed window ``k = [kL, (k+1)L)`` has already seen every
+cross-shard message that can arrive inside it — they were all launched
+in windows ``< k`` and exchanged at earlier barriers. This is the
+classic conservative (CMB-style) lookahead argument, specialized to a
+mesh whose latency model lives in :mod:`repro.network.topology` with
+cost constants from :mod:`repro.core.costs`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.network.topology import MeshTopology
+
+#: The shortest possible wire message: the header + handler words of an
+#: empty-payload UDM message (``Message.length_words = 2 + len(payload)``;
+#: a literal rather than a probe Message so importing this module never
+#: advances the global msg_id counter).
+MIN_MESSAGE_WORDS = 2
+
+
+def min_cross_shard_latency(topology: MeshTopology,
+                            groups: Sequence[Tuple[int, ...]],
+                            ) -> Optional[int]:
+    """Minimum fabric latency between nodes in *different* groups.
+
+    Returns None for the degenerate single-group partition: with no
+    possible cross-shard traffic the lookahead is unbounded and the
+    window protocol is unnecessary (free-running execution).
+    """
+    best: Optional[int] = None
+    for gi, group in enumerate(groups):
+        for src in group:
+            for gj, other in enumerate(groups):
+                if gi == gj:
+                    continue
+                for dst in other:
+                    latency = topology.latency(src, dst,
+                                               MIN_MESSAGE_WORDS)
+                    if best is None or latency < best:
+                        best = latency
+    return best
+
+
+def lookahead_for(config, groups: Sequence[Tuple[int, ...]],
+                  ) -> Optional[int]:
+    """The window length for ``config``'s fabric and this partition."""
+    topology = MeshTopology(
+        config.num_nodes,
+        base_latency=config.net_base_latency,
+        per_hop_latency=config.net_per_hop_latency,
+        per_word_latency=config.net_per_word_latency,
+    )
+    return min_cross_shard_latency(topology, groups)
+
+
+__all__ = ["MIN_MESSAGE_WORDS", "min_cross_shard_latency",
+           "lookahead_for"]

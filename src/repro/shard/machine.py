@@ -1,0 +1,55 @@
+"""The full-machine replica a shard worker drives.
+
+Every shard constructs the complete :class:`~repro.machine.machine.
+Machine` — same config, same job-creation order, hence identical GIDs,
+topology, costs and seeded RNG streams — and then activates only its
+own node group. Replication over partitioning is what makes the
+cross-shard protocol thin: a ferried message needs only its scalar wire
+fields plus a handler *name*, because the destination application
+object already exists on the owning shard.
+
+Inertness of foreign replica nodes is enforced at the two points where
+activity originates:
+
+* :meth:`scheduled_nodes` — the gang scheduler installs quanta and arms
+  switch timers only for local nodes, so foreign mains never run;
+* :meth:`_build_fabric` — a :class:`~repro.shard.fabric.ShardFabric`
+  diverts anything addressed off-shard into the epoch outbox.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+from repro.network.fabric import NetworkFabric
+from repro.shard.fabric import ShardFabric
+
+
+class ShardMachine(Machine):
+    """A machine replica owning one contiguous node group."""
+
+    def __init__(self, config, groups: Sequence[Tuple[int, ...]],
+                 shard_index: int, track_identity: bool = True) -> None:
+        # Set before super().__init__: the base constructor calls
+        # _build_fabric(), which needs the local group.
+        self.groups = [tuple(group) for group in groups]
+        self.shard_index = shard_index
+        self.local_nodes = frozenset(self.groups[shard_index])
+        self._track_identity = track_identity
+        super().__init__(config)
+
+    def _build_fabric(self) -> NetworkFabric:
+        return ShardFabric(
+            self.engine, self.topology, self.config.fabric_credits,
+            local_nodes=self.local_nodes, shard_index=self.shard_index,
+            track_identity=self._track_identity,
+        )
+
+    def scheduled_nodes(self) -> List[Node]:
+        return [node for node in self.nodes
+                if node.node_id in self.local_nodes]
+
+
+__all__ = ["ShardMachine"]

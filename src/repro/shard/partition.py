@@ -1,0 +1,46 @@
+"""Node-group partitioning for sharded execution.
+
+Shards own contiguous node-id blocks: contiguity keeps each group a
+compact sub-mesh (minimizing cross-shard hops, which is what sets the
+conservative lookahead) and makes the mapping trivially reproducible —
+the partition is a pure function of ``(num_nodes, shards)``, so every
+worker process derives the identical layout independently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def partition_nodes(num_nodes: int, shards: int) -> List[Tuple[int, ...]]:
+    """Split ``range(num_nodes)`` into ``shards`` contiguous groups.
+
+    Group sizes differ by at most one (earlier groups take the
+    remainder). Degenerate cases: ``shards=1`` returns one group of
+    everything; ``shards > num_nodes`` clamps to one node per shard —
+    a shard with zero nodes would be a worker with nothing to do.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    shards = min(shards, num_nodes)
+    base, extra = divmod(num_nodes, shards)
+    groups: List[Tuple[int, ...]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return groups
+
+
+def owner_of(groups: List[Tuple[int, ...]], node_id: int) -> int:
+    """Index of the shard that owns ``node_id``."""
+    for index, group in enumerate(groups):
+        if node_id in group:
+            return index
+    raise ValueError(f"node {node_id} is in no shard group")
+
+
+__all__ = ["partition_nodes", "owner_of"]

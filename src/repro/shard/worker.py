@@ -1,0 +1,222 @@
+"""The per-shard worker process body.
+
+Each worker builds its full-machine replica (:class:`~repro.shard.
+machine.ShardMachine`), drives its local node group, and talks to the
+coordinator over one duplex pipe. Two execution modes:
+
+* **Windowed** (``lookahead`` given) — the conservative time-window
+  protocol. The engine runs one lookahead window at a time; at each
+  barrier the worker ships its epoch outbox up, receives the inbound
+  batch routed to it, injects each message at its carried arrival cycle
+  and proceeds to the next window.
+* **Free-run** (``lookahead is None``) — the partition provably admits
+  no cross-shard traffic (application locality groups align with shard
+  groups), so the worker runs to local completion with no barriers at
+  all; a stop hook on the job's finish notifications halts the engine
+  the moment every local node's main has returned.
+
+Wire protocol (worker -> coordinator):
+
+* ``("epoch", index, encoded_outbox, local_done, in_flight,
+  executed_delta)`` at each barrier (windowed mode);
+* ``("result", partial)`` once, at the end — the harvest dict the
+  coordinator merges (or ``("error", traceback_text)``).
+
+Coordinator -> worker: ``("continue", inbound)`` or ``("finish",)``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.shard.channel import decode_message, encode_message
+from repro.shard.machine import ShardMachine
+
+
+def _local_done(job, local_nodes) -> bool:
+    return all(job.node_states[node].main_finished
+               for node in local_nodes)
+
+
+def _install_local_stop(machine: ShardMachine, job) -> None:
+    """Free-run mode: halt the engine at *local* completion.
+
+    On a replica, ``job.done`` can never trigger (foreign node states
+    never finish), so the monolithic ``run_until_job_done`` exit hook
+    is replaced by shadowing the job's bound finish-notification with a
+    wrapper that stops the engine once the local group is done.
+    """
+    local = machine.local_nodes
+    engine = machine.engine
+    original = job.note_node_main_finished
+
+    def note_and_maybe_stop(node_id: int, now: int) -> None:
+        original(node_id, now)
+        if _local_done(job, local):
+            engine.stop()
+
+    job.note_node_main_finished = note_and_maybe_stop
+
+
+def _harvest(machine: ShardMachine, job, wall_started: float,
+             flags: set) -> Dict[str, Any]:
+    """Everything the coordinator needs from this shard, picklable."""
+    fabric = machine.fabric
+    local = sorted(machine.local_nodes)
+    flags = set(flags) | set(fabric.flags)
+    if fabric.stats.sender_blocks:
+        flags.add("sender-blocked")
+    if machine.overflow.stats.advisories:
+        flags.add("overflow-advisory")
+    if machine.overflow.stats.suspensions:
+        flags.add("overflow-suspension")
+    if machine.overflow.stats.exhaustion_events:
+        flags.add("overflow-exhaustion")
+    if machine.scheduler.stats.gang_advisories:
+        flags.add("gang-advisory")
+    if machine.transports:
+        flags.add("transport")
+    if machine.mailboxes:
+        flags.add("mailbox")
+    if fabric.in_flight_local():
+        flags.add("in-flight-at-finish")
+    finish_times = [
+        job.node_states[node].main_finish_time for node in local
+    ]
+    return dict(
+        shard=machine.shard_index,
+        flags=sorted(flags),
+        events_executed=machine.engine.events_executed,
+        wall_seconds=time.perf_counter() - wall_started,
+        local_finish=max(
+            (t for t in finish_times if t is not None), default=None
+        ),
+        all_finished=all(t is not None for t in finish_times),
+        messages_sent=job.stats.messages_sent,
+        handler_invocations=job.stats.handler_invocations,
+        handler_cycles=job.stats.handler_cycles,
+        fast_messages=job.two_case.fast_messages,
+        buffered_messages=job.two_case.buffered_messages,
+        transitions_to_buffered={
+            reason.value: count for reason, count
+            in job.two_case.transitions_to_buffered.items()
+        },
+        transitions_to_fast=job.two_case.transitions_to_fast,
+        max_buffer_pages=job.max_buffer_pages(),
+        revocations=sum(
+            machine.nodes[node].kernel.stats.revocations for node in local
+        ),
+        page_outs=sum(
+            machine.nodes[node].kernel.stats.page_outs for node in local
+        ),
+        overflow_suspensions=machine.overflow.stats.suspensions,
+        pinned_pages_peak=max(
+            machine.nodes[node].ni.discipline.stats.pinned_pages_peak
+            for node in local
+        ),
+        delivery_fault_traps=sum(
+            machine.nodes[node].ni.discipline.stats.fault_traps
+            for node in local
+        ),
+        damq_evictions=sum(
+            machine.nodes[node].ni.discipline.stats.damq_evictions
+            for node in local
+        ),
+        damq_peak_occupancy=max(
+            machine.nodes[node].ni.discipline.stats.damq_peak_occupancy
+            for node in local
+        ),
+        cross_shard_sends=fabric.cross_shard_sends,
+        occ_injects={dst: list(times) for dst, times
+                     in fabric.occ_injects.items()},
+        occ_releases={dst: list(times) for dst, times
+                      in fabric.occ_releases.items()},
+    )
+
+
+def shard_worker(conn, shard_index: int,
+                 groups: Sequence[Tuple[int, ...]],
+                 config, apps: Sequence[Any], measured_index: int,
+                 lookahead: Optional[int],
+                 limit: Optional[int]) -> None:
+    """Process body: never raises — errors travel up the pipe."""
+    try:
+        _shard_worker(conn, shard_index, groups, config, apps,
+                      measured_index, lookahead, limit)
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # coordinator already gone; nothing to tell
+            pass
+    finally:
+        conn.close()
+
+
+def _shard_worker(conn, shard_index, groups, config, apps,
+                  measured_index, lookahead, limit) -> None:
+    wall_started = time.perf_counter()
+    machine = ShardMachine(config, groups, shard_index,
+                           track_identity=lookahead is not None)
+    jobs = [machine.add_job(app) for app in apps]
+    job = jobs[measured_index]
+    fabric = machine.fabric
+    local = machine.local_nodes
+    flags: set = set()
+
+    if lookahead is None:
+        _install_local_stop(machine, job)
+        machine.start()
+        machine.engine.run(until=limit)
+        if not _local_done(job, local):
+            if machine.engine.pending == 0:
+                raise RuntimeError(
+                    f"shard {shard_index}: event heap drained but job "
+                    f"{job.name} is unfinished (application deadlock?)"
+                )
+            raise RuntimeError(
+                f"shard {shard_index}: job {job.name} did not finish "
+                f"within {limit} cycles"
+            )
+        conn.send(("result", _harvest(machine, job, wall_started, flags)))
+        return
+
+    machine.start()
+    epoch = 0
+    while True:
+        window_end = (epoch + 1) * lookahead - 1
+        if limit is not None and epoch * lookahead > limit:
+            raise RuntimeError(
+                f"shard {shard_index}: job {job.name} did not finish "
+                f"within {limit} cycles"
+            )
+        before = machine.engine.events_executed
+        machine.engine.run(until=window_end)
+        executed = machine.engine.events_executed - before
+        encoded: List[Tuple[Any, int]] = []
+        for arrival, message in fabric.take_outbox():
+            wire = encode_message(message, arrival, machine.apps_by_gid)
+            if wire is None:
+                flags.add("unresolvable-handler")
+            else:
+                encoded.append((wire, shard_index))
+        conn.send(("epoch", epoch, encoded,
+                   _local_done(job, local), fabric.in_flight_local(),
+                   executed))
+        reply = conn.recv()
+        if reply[0] == "finish":
+            break
+        inbound = reply[1]
+        for wire, origin in inbound:
+            decoded = decode_message(wire, machine.apps_by_gid)
+            if decoded is None:
+                flags.add("unresolvable-handler")
+                continue
+            message, arrival = decoded
+            fabric.inject_remote(message, arrival, origin)
+        epoch += 1
+    conn.send(("result", _harvest(machine, job, wall_started, flags)))
+
+
+__all__ = ["shard_worker"]

@@ -1,0 +1,55 @@
+"""Cross-link integrity for the repo's documentation.
+
+Every relative markdown link in the user-facing docs (README, DESIGN,
+EXPERIMENTS, ``docs/*.md``) must resolve to a real file or directory,
+so the docs never silently rot as modules move. External links
+(``http(s)://``), in-page anchors (``#...``) and autodoc-style code
+references are out of scope.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The user-facing documentation set. Working notes (ISSUE, CHANGES,
+#: SNIPPETS, PAPERS) are scratch space and exempt.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md",
+     REPO_ROOT / "EXPERIMENTS.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_relative_links(path: Path):
+    """Yield (line_number, target) for each relative link in ``path``."""
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.partition("#")[0]
+            if not target:  # pure in-page anchor
+                continue
+            yield number, target
+
+
+def test_doc_set_is_nonempty():
+    assert len(DOC_FILES) >= 10
+    assert all(path.is_file() for path in DOC_FILES)
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT))
+                           for p in DOC_FILES])
+def test_relative_links_resolve(doc):
+    broken = [
+        f"{doc.relative_to(REPO_ROOT)}:{number}: ({target})"
+        for number, target in iter_relative_links(doc)
+        if not (doc.parent / target).exists()
+    ]
+    assert not broken, "dead links:\n" + "\n".join(broken)

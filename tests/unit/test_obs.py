@@ -201,7 +201,7 @@ class TestObservatory:
                   for name in obs.registry.names()}
         assert groups == {"engine", "fabric", "ni", "kernel",
                           "buffering", "overflow", "two_case",
-                          "delivery", "transport", "mailbox"}
+                          "delivery", "transport", "mailbox", "shard"}
 
     def test_payload_without_sampler_has_no_snapshots(self):
         obs = Observatory(_engine_with_machine_stub())
