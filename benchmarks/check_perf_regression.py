@@ -13,6 +13,14 @@ working-tree copy) against the committed baseline read via
   ``BENCH_runner.json`` so the baseline ratchets forward and the
   regression floor rises with it.
 
+The same two-sided ratchet applies to the sharded all-to-all leg's
+aggregate events/second — the number the exchange-channel and
+adaptive-lookahead work exists to improve. That comparison is neutral
+(skipped, not passed) whenever either side's ``speedup_required`` is
+False (single-core runner, serial fallback) or the baseline predates
+the leg: a skipped gate must never masquerade as a green one, and a
+figure measured without real parallelism is not a baseline.
+
 Raw events/s is noisy across runner hardware generations, so both
 sides are deliberately loose (a >20% move is a real change, not
 jitter).
@@ -62,26 +70,62 @@ def main(argv=None) -> int:
               "skipping regression gate")
         return 0
 
-    fresh_eps = fresh["engine_events"]["events_per_second"]
-    base_eps = baseline["engine_events"]["events_per_second"]
-    floor = base_eps * (1.0 - args.threshold)
-    ceiling = base_eps * (1.0 + args.threshold_up)
-    change = fresh_eps / base_eps - 1.0
-    print(f"engine events/s: fresh {fresh_eps:,.0f} vs committed "
-          f"{base_eps:,.0f} ({change:+.1%}; floor {floor:,.0f} at "
-          f"-{args.threshold:.0%}, ceiling {ceiling:,.0f} at "
-          f"+{args.threshold_up:.0%})")
-    if fresh_eps < floor:
-        print("FAIL: engine throughput regressed past the threshold")
-        return 1
-    if fresh_eps > ceiling:
-        print("FAIL: engine throughput beat the committed baseline by "
-              f"more than +{args.threshold_up:.0%} — re-stamp the "
-              "baseline (run perf_smoke.py and commit the refreshed "
-              "BENCH_runner.json) so the ratchet records the win")
+    failed = ratchet(
+        "engine events/s",
+        fresh["engine_events"]["events_per_second"],
+        baseline["engine_events"]["events_per_second"],
+        args.threshold, args.threshold_up,
+    )
+
+    fresh_leg = fresh.get("shard", {}).get("all_to_all")
+    base_leg = baseline.get("shard", {}).get("all_to_all")
+    if fresh_leg is None or base_leg is None:
+        print("shard all-to-all events/s: no figure on "
+              + ("both sides" if fresh_leg is None and base_leg is None
+                 else ("the fresh side" if fresh_leg is None
+                       else "the committed side"))
+              + " (schema predates the leg); skipping")
+    elif not fresh_leg.get("speedup_required"):
+        print("shard all-to-all events/s: fresh gate skipped "
+              f"({fresh_leg.get('speedup_skip_reason')}); neutral")
+    elif not base_leg.get("speedup_required"):
+        print("shard all-to-all events/s: committed baseline was "
+              f"measured without a real speedup gate "
+              f"({base_leg.get('speedup_skip_reason')}); neutral")
+    else:
+        failed = ratchet(
+            "shard all-to-all events/s",
+            fresh_leg["aggregate_events_per_second"],
+            base_leg["aggregate_events_per_second"],
+            args.threshold, args.threshold_up,
+        ) or failed
+
+    if failed:
         return 1
     print("OK")
     return 0
+
+
+def ratchet(label: str, fresh_eps: float, base_eps: float,
+            threshold: float, threshold_up: float) -> bool:
+    """Two-sided comparison; True when the gate fails."""
+    floor = base_eps * (1.0 - threshold)
+    ceiling = base_eps * (1.0 + threshold_up)
+    change = fresh_eps / base_eps - 1.0
+    print(f"{label}: fresh {fresh_eps:,.0f} vs committed "
+          f"{base_eps:,.0f} ({change:+.1%}; floor {floor:,.0f} at "
+          f"-{threshold:.0%}, ceiling {ceiling:,.0f} at "
+          f"+{threshold_up:.0%})")
+    if fresh_eps < floor:
+        print(f"FAIL: {label} regressed past the threshold")
+        return True
+    if fresh_eps > ceiling:
+        print(f"FAIL: {label} beat the committed baseline by "
+              f"more than +{threshold_up:.0%} — re-stamp the "
+              "baseline (run perf_smoke.py and commit the refreshed "
+              "BENCH_runner.json) so the ratchet records the win")
+        return True
+    return False
 
 
 if __name__ == "__main__":

@@ -35,7 +35,9 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import OrderedDict, deque
-from typing import Any, Deque, Dict, Generator, List, Tuple
+from typing import (
+    Any, Callable, Deque, Dict, Generator, List, Optional, Tuple,
+)
 
 from repro.apps.base import Application
 from repro.machine.processor import Compute
@@ -133,15 +135,35 @@ class MailboxService:
     """
 
     def __init__(self, mailbox_nodes: int, capacity: int,
-                 dedup_cache: int, stats: MailboxStats) -> None:
-        self.mailbox_node_list = list(range(mailbox_nodes))
+                 dedup_cache: int, stats: MailboxStats, *,
+                 node_list: Optional[List[int]] = None,
+                 home: Optional[Callable[[int], int]] = None,
+                 dedup_partitions: int = 1,
+                 partition_of: Optional[Callable[[int], int]] = None,
+                 ) -> None:
+        self.mailbox_node_list = (list(node_list) if node_list is not None
+                                  else list(range(mailbox_nodes)))
         self.capacity = capacity
         self.dedup_cache = dedup_cache
         self.stats = stats
+        self._home = home
+        # Locality placement partitions the dedup LRU per group: a
+        # single global LRU would let one group's inserts evict another
+        # group's entries, coupling groups through eviction order —
+        # exactly what sharded execution cannot reproduce. One
+        # partition (the default) is the original single global LRU.
+        self._partitions = max(1, dedup_partitions)
+        self._partition_of = partition_of
+        self._partition_cap = max(1, dedup_cache // self._partitions)
         #: recipient -> deque of (client, seq, enqueue_time).
         self.queues: Dict[int, Deque[Tuple[int, int, int]]] = {}
-        #: (recipient, client) -> highest seq accepted (bounded LRU).
-        self.seen: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        #: Per-partition (recipient, client) -> highest seq accepted
+        #: (bounded LRU each). ``seen`` aliases partition 0 so existing
+        #: single-partition callers keep working.
+        self.seen_parts: List["OrderedDict[Tuple[int, int], int]"] = [
+            OrderedDict() for _ in range(self._partitions)
+        ]
+        self.seen = self.seen_parts[0]
         self.occupancy: Dict[int, int] = {
             n: 0 for n in self.mailbox_node_list
         }
@@ -150,6 +172,8 @@ class MailboxService:
         }
 
     def home(self, recipient: int) -> int:
+        if self._home is not None:
+            return self._home(recipient)
         return self.mailbox_node_list[
             recipient % len(self.mailbox_node_list)]
 
@@ -161,15 +185,17 @@ class MailboxService:
         """Absorb one submission at its home node; False on drop."""
         stats = self.stats
         key = (recipient, client)
-        last = self.seen.get(key)
+        part = (self.seen_parts[self._partition_of(recipient)]
+                if self._partition_of is not None else self.seen)
+        last = part.get(key)
         if last is not None and seq <= last:
-            self.seen.move_to_end(key)
+            part.move_to_end(key)
             stats.duplicates_suppressed += 1
             return False
-        self.seen[key] = seq
-        self.seen.move_to_end(key)
-        while len(self.seen) > self.dedup_cache:
-            self.seen.popitem(last=False)
+        part[key] = seq
+        part.move_to_end(key)
+        while len(part) > self._partition_cap:
+            part.popitem(last=False)
             stats.dedup_evictions += 1
         queue = self.queues.get(recipient)
         if queue is None:
@@ -202,8 +228,9 @@ class MailboxService:
             lost += len(queue)
             queue.clear()
         self.occupancy[victim] = 0
-        for key in [k for k in self.seen if self.home(k[0]) == victim]:
-            del self.seen[key]
+        for part in self.seen_parts:
+            for key in [k for k in part if self.home(k[0]) == victim]:
+                del part[key]
         self.epoch[victim] += 1
         self.stats.crashes += 1
         self.stats.crash_losses += lost
@@ -225,7 +252,8 @@ class MailboxApplication(Application):
                  reconnects: int = 2, replay_window: int = 32,
                  retrieve_batch: int = 64,
                  handler_cycles: int = 60, seed: int = 1,
-                 record_deliveries: bool = False) -> None:
+                 record_deliveries: bool = False,
+                 locality_groups: int = 0) -> None:
         if mailbox_nodes < 1:
             raise ValueError("need at least one mailbox node")
         if num_nodes < mailbox_nodes + 1:
@@ -236,6 +264,24 @@ class MailboxApplication(Application):
             raise ValueError("message count and gap must be positive")
         if not 0.0 <= dup_rate <= 1.0:
             raise ValueError(f"dup_rate={dup_rate} is not a probability")
+        if locality_groups:
+            if locality_groups < 1:
+                raise ValueError("locality_groups cannot be negative")
+            if num_nodes % locality_groups:
+                raise ValueError("locality groups must divide num_nodes")
+            if mailbox_nodes % locality_groups:
+                raise ValueError(
+                    "locality groups must divide mailbox_nodes")
+            if recipients % locality_groups:
+                raise ValueError(
+                    "locality groups must divide recipients")
+            if (num_nodes - mailbox_nodes) % locality_groups:
+                raise ValueError(
+                    "locality groups must divide the gateway count")
+            if (num_nodes // locality_groups
+                    <= mailbox_nodes // locality_groups):
+                raise ValueError(
+                    "each locality group needs at least one gateway")
         self.num_nodes = num_nodes
         self.mailbox_nodes = mailbox_nodes
         self.num_gateways = num_nodes - mailbox_nodes
@@ -253,18 +299,44 @@ class MailboxApplication(Application):
         self.handler_cycles = handler_cycles
         self.seed = seed
         self.record_deliveries = record_deliveries
+        #: Locality placement (0 = the classic layout). With ``G``
+        #: groups, the node space splits into ``G`` contiguous blocks,
+        #: each holding its own mailbox nodes, gateways and recipient
+        #: slice — no message ever crosses a group boundary, which is
+        #: what lets ``repro mailbox --shards N`` free-run distributed.
+        self.locality_groups = locality_groups
+        self._groups = max(1, locality_groups)
+        self._group_size = num_nodes // self._groups
+        self._mb_per_group = mailbox_nodes // self._groups
+        self._gateways_per_group = self.num_gateways // self._groups
 
         self.stats = MailboxStats()
-        self.service = MailboxService(mailbox_nodes, mailbox_capacity,
-                                      dedup_cache, self.stats)
+        if locality_groups:
+            node_list = [n for n in range(num_nodes)
+                         if n % self._group_size < self._mb_per_group]
+            self.service = MailboxService(
+                mailbox_nodes, mailbox_capacity, dedup_cache,
+                self.stats, node_list=node_list, home=self._home_node,
+                dedup_partitions=locality_groups,
+                partition_of=lambda r: r % locality_groups)
+        else:
+            self.service = MailboxService(mailbox_nodes,
+                                          mailbox_capacity,
+                                          dedup_cache, self.stats)
         # Wide-area clients tolerate seconds of latency; the default
         # 4k-cycle timeout would congestion-collapse here (acks sit
         # behind deep mailbox backlogs, every premature retry deepens
         # them), so the retry clock matches the service tier's worst
-        # queueing delay instead.
-        self.transport = ReliableTransport(num_nodes,
-                                           retry_timeout=64_000,
-                                           deliver=self._deliver)
+        # queueing delay instead. One transport per locality group:
+        # message state is per-(src, dst) pair either way, but the
+        # drain loop's liveness test reads transport-wide counters,
+        # and those must not couple groups under locality placement.
+        self._transports = [
+            ReliableTransport(num_nodes, retry_timeout=64_000,
+                              deliver=self._deliver)
+            for _ in range(self._groups)
+        ]
+        self.transport = self._transports[0]
         # Per-gateway flow tables (client -> sends), bounded LRU.
         self._flow_tables: Dict[int, "OrderedDict[int, int]"] = {}
         self._flow_cap = max(1, max_active_flows // self.num_gateways)
@@ -276,12 +348,53 @@ class MailboxApplication(Application):
         # one outstanding retrieve per recipient, or the drain loop
         # would pile requests onto an already-loaded mailbox node.
         self._retrieving: set = set()
-        self._sending_done = 0
-        self._drained = 0
+        # Per-group progress counters mirroring the global stats; the
+        # drain/termination conditions read *these* so a gateway only
+        # ever waits on its own group (with one group they equal the
+        # global counters exactly).
+        self._g_submitted = [0] * self._groups
+        self._g_absorbed = [0] * self._groups
+        self._g_retrieved = [0] * self._groups
+        self._g_delivered = [0] * self._groups
+        self._sending_done = [0] * self._groups
+        self._drained = [0] * self._groups
+        gateway_nodes = [n for n in range(num_nodes)
+                         if not self._is_mailbox_node(n)]
+        self._gateway_ordinal = {n: i for i, n
+                                 in enumerate(gateway_nodes)}
         #: (client, recipient) -> delivered seqs, in delivery order.
         #: Test instrumentation only (unbounded); off by default so
         #: sweep-scale runs stay O(active flows + queued mail).
         self.retrieved_log: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Locality placement
+    # ------------------------------------------------------------------
+    def _is_mailbox_node(self, node: int) -> bool:
+        if self.locality_groups:
+            return node % self._group_size < self._mb_per_group
+        return node < self.mailbox_nodes
+
+    def _node_group(self, node: int) -> int:
+        return node // self._group_size if self.locality_groups else 0
+
+    def _home_node(self, recipient: int) -> int:
+        """Group-local home: recipient ``r`` lives in group ``r % G``
+        on that group's ``(r // G) % mb_per_group``-th mailbox node."""
+        group = recipient % self.locality_groups
+        return (group * self._group_size
+                + (recipient // self.locality_groups)
+                % self._mb_per_group)
+
+    def _transport_for(self, node: int) -> ReliableTransport:
+        return self._transports[self._node_group(node)]
+
+    def traffic_locality_groups(self):
+        if not self.locality_groups:
+            return None
+        size = self._group_size
+        return [tuple(range(g * size, (g + 1) * size))
+                for g in range(self.locality_groups)]
 
     # ------------------------------------------------------------------
     # Open-loop arrival shaping
@@ -328,6 +441,7 @@ class MailboxApplication(Application):
         _, client, recipient, seq = payload
         yield Compute(self.handler_cycles)
         self.stats.absorbed += 1
+        self._g_absorbed[self._node_group(rt.node_index)] += 1
         self.service.accept(rt.node_index, client, recipient, seq,
                             rt.machine.engine.now)
 
@@ -336,6 +450,8 @@ class MailboxApplication(Application):
         _, requester, recipient = payload
         yield Compute(40)
         node = rt.node_index
+        group = self._node_group(node)
+        transport = self._transports[group]
         queue = self.service.queues.get(recipient)
         # Page the inbox: a bounded batch per reconnect keeps one hot
         # recipient from occupying the handler past the atomicity
@@ -347,9 +463,10 @@ class MailboxApplication(Application):
             client, seq, enq = queue.popleft()
             self.service.occupancy[node] -= 1
             self.stats.retrieved += 1
-            yield from self.transport.send(
+            self._g_retrieved[group] += 1
+            yield from transport.send(
                 rt, requester, ("deliver", recipient, client, seq, enq))
-        yield from self.transport.send(
+        yield from transport.send(
             rt, requester, ("done", recipient, self.service.epoch[node]))
 
     def _on_deliver(self, rt: UdmRuntime,
@@ -357,6 +474,7 @@ class MailboxApplication(Application):
         _, recipient, client, seq, enq = payload
         self.stats.note_latency(rt.machine.engine.now - enq)
         self.stats.delivered += 1
+        self._g_delivered[self._node_group(rt.node_index)] += 1
         if self.record_deliveries:
             self.retrieved_log.setdefault((client, recipient),
                                           []).append(seq)
@@ -372,13 +490,16 @@ class MailboxApplication(Application):
         # The mailbox node crashed since our last reconnect: replay
         # everything in the bounded log that was homed there. Replays
         # whose mail survived are absorbed by the dedup cache.
+        group = self._node_group(rt.node_index)
+        transport = self._transports[group]
         for home, client, recipient, seq in list(
                 self._replay_logs.get(rt.node_index, ())):
             if home != src:
                 continue
             self.stats.replays += 1
             self.stats.submitted += 1
-            yield from self.transport.send(
+            self._g_submitted[group] += 1
+            yield from transport.send(
                 rt, home, ("submit", client, recipient, seq))
 
     # ------------------------------------------------------------------
@@ -403,23 +524,29 @@ class MailboxApplication(Application):
     # Mains
     # ------------------------------------------------------------------
     def main(self, rt: UdmRuntime, node_index: int) -> Generator:
-        if node_index < self.mailbox_nodes:
+        if self._is_mailbox_node(node_index):
             yield from self._mailbox_main(rt, node_index)
         else:
             yield from self._gateway_main(rt, node_index)
 
     def _mailbox_main(self, rt: UdmRuntime,
                       node_index: int) -> Generator:
-        if node_index == 0:
-            rt.machine.register_mailbox(self.service)
+        # Every mailbox node registers (register_mailbox dedupes), so a
+        # shard replica that owns no node 0 still exposes the service
+        # to metric collection.
+        rt.machine.register_mailbox(self.service)
+        group = self._node_group(node_index)
         # All service work happens in handlers; the main thread just
-        # keeps the node resident until every gateway has drained.
-        while self._drained < self.num_gateways:
+        # keeps the node resident until every gateway in its own
+        # locality group has drained.
+        while self._drained[group] < self._gateways_per_group:
             yield Compute(2_000)
 
     def _gateway_main(self, rt: UdmRuntime,
                       node_index: int) -> Generator:
-        gw = node_index - self.mailbox_nodes
+        gw = self._gateway_ordinal[node_index]
+        group = self._node_group(node_index)
+        transport = self._transports[group]
         rng = DeterministicRng(self.seed, f"mailbox/gateway/{gw}")
         self._flow_tables[node_index] = OrderedDict()
         replay_log: Deque[Tuple[int, int, int, int]] = deque(
@@ -427,8 +554,18 @@ class MailboxApplication(Application):
         self._replay_logs[node_index] = replay_log
         # This gateway's shards of the client and recipient spaces.
         clients_per_gw = max(1, self.clients // self.num_gateways)
-        own = [r for r in range(self.recipients)
-               if r % self.num_gateways == gw]
+        if self.locality_groups:
+            # Group ``g`` owns recipients ``r % G == g``; its gateways
+            # split those round-robin by in-group ordinal.
+            per_group = self._gateways_per_group
+            local_gw = gw - group * per_group
+            own = [r for r in range(self.recipients)
+                   if r % self.locality_groups == group
+                   and (r // self.locality_groups) % per_group
+                   == local_gw]
+        else:
+            own = [r for r in range(self.recipients)
+                   if r % self.num_gateways == gw]
         # Seeded reconnect schedule: after which submission each owned
         # recipient comes online and drains its mailbox.
         checkpoints: Dict[int, List[int]] = {}
@@ -444,7 +581,7 @@ class MailboxApplication(Application):
                     continue
                 self._retrieving.add(recipient)
                 self.stats.reconnects += 1
-                yield from self.transport.send(
+                yield from transport.send(
                     rt, self.service.home(recipient),
                     ("retrieve", node_index, recipient))
             gap = self._gap(rng, rt.machine.engine.now)
@@ -452,11 +589,19 @@ class MailboxApplication(Application):
                 yield Compute(gap)
             client = (heavy_tail_rank(rng, clients_per_gw)
                       * self.num_gateways + gw)
-            recipient = heavy_tail_rank(rng, self.recipients)
+            if self.locality_groups:
+                recipient = (group + self.locality_groups
+                             * heavy_tail_rank(
+                                 rng,
+                                 self.recipients
+                                 // self.locality_groups))
+            else:
+                recipient = heavy_tail_rank(rng, self.recipients)
             home = self.service.home(recipient)
             self._note_flow(node_index, client)
             self.stats.submitted += 1
-            yield from self.transport.send(
+            self._g_submitted[group] += 1
+            yield from transport.send(
                 rt, home, ("submit", client, recipient, seq))
             replay_log.append((home, client, recipient, seq))
             if self.dup_rate and rng.random() < self.dup_rate:
@@ -464,10 +609,11 @@ class MailboxApplication(Application):
                 # mailbox's dedup cache must absorb it.
                 self.stats.client_duplicates += 1
                 self.stats.submitted += 1
-                yield from self.transport.send(
+                self._g_submitted[group] += 1
+                yield from transport.send(
                     rt, home, ("submit", client, recipient, seq))
             seq += 1
-        self._sending_done += 1
+        self._sending_done[group] += 1
 
         # Final drain: reconnect until the whole workload quiesces.
         # Bounded by rounds *without progress*, not total rounds — a
@@ -487,9 +633,11 @@ class MailboxApplication(Application):
                    if overflow is not None else 0)
         patience = max(100, suspend // round_cycles + 100)
         while idle_rounds < patience:
-            if (self._sending_done == self.num_gateways
-                    and stats.absorbed == stats.submitted
-                    and stats.delivered == stats.retrieved
+            if (self._sending_done[group] == self._gateways_per_group
+                    and self._g_absorbed[group]
+                    == self._g_submitted[group]
+                    and self._g_delivered[group]
+                    == self._g_retrieved[group]
                     and not any(self.service.queues.get(r)
                                 for r in own)):
                 break
@@ -499,10 +647,13 @@ class MailboxApplication(Application):
             # deep software buffer of duplicate copies — app-level
             # counters alone would read that grind as a wedge. Both
             # are bounded, so planned give-ups still terminate us.
-            progress = (stats.absorbed, stats.retrieved,
-                        stats.delivered,
-                        self.transport.retransmissions,
-                        self.transport.acks_sent)
+            # All of these are group-local (one group: the globals),
+            # so a gateway never waits on another group's traffic.
+            progress = (self._g_absorbed[group],
+                        self._g_retrieved[group],
+                        self._g_delivered[group],
+                        transport.retransmissions,
+                        transport.acks_sent)
             if progress == last_progress:
                 idle_rounds += 1
             else:
@@ -513,18 +664,20 @@ class MailboxApplication(Application):
                         and recipient not in self._retrieving):
                     self._retrieving.add(recipient)
                     stats.reconnects += 1
-                    yield from self.transport.send(
+                    yield from transport.send(
                         rt, self.service.home(recipient),
                         ("retrieve", node_index, recipient))
             yield Compute(round_cycles)
-        self._drained += 1
+        self._drained[group] += 1
 
     def describe(self) -> str:
+        locality = (f", locality_groups={self.locality_groups}"
+                    if self.locality_groups else "")
         return (
             f"mailbox: {self.clients} clients over {self.num_gateways} "
             f"gateways -> {self.mailbox_nodes} mailbox nodes, "
             f"{self.messages_per_gateway} msgs/gateway, "
-            f"mean_gap={self.mean_gap}"
+            f"mean_gap={self.mean_gap}{locality}"
         )
 
 

@@ -173,7 +173,8 @@ def _cmd_shard(args) -> int:
     kwargs = dict(group_size=args.group, t_betw=args.t_betw,
                   seed=args.seed, messages_per_node=args.messages,
                   num_nodes=args.nodes,
-                  locality_groups=args.locality_groups)
+                  locality_groups=args.locality_groups,
+                  net_base_latency=args.net_base_latency)
     serial = run_synth(**kwargs)
     extra: dict = {}
     info: dict = {}
@@ -196,6 +197,12 @@ def _cmd_shard(args) -> int:
             ["cross-shard messages",
              extra.get("cross_shard_messages", 0)],
             ["barrier stalls", extra.get("barrier_stalls", 0)],
+            ["windows coalesced",
+             extra.get("empty_epochs_coalesced", 0)],
+            ["exchange bytes", extra.get("bytes_exchanged", 0)],
+            ["encode seconds",
+             f"{info['encode_seconds']:.4f}"
+             if "encode_seconds" in info else "n/a"],
             ["serial fallbacks", extra.get("serial_fallbacks", 0)],
             ["coupling flags",
              ", ".join(extra.get("shard_flags", [])) or "none"],
@@ -290,21 +297,37 @@ def _cmd_mailbox(args) -> int:
 
     plan = FaultPlan.parse(args.faults) if args.faults else None
     canonical = plan.describe() if plan is not None else ""
+    # Locality groups aligned with the shard count let the sharded run
+    # free-run without barriers. Grouping changes the workload's
+    # placement, so the serial ground-truth run uses the same grouping;
+    # only the execution strategy differs between the two specs.
+    groups = args.shards if args.shards > 1 else 0
     spec = mailbox_spec(
         clients=args.clients, recipients=args.recipients,
         messages=args.messages, seed=args.seed,
         delivery=args.delivery, faults=canonical,
+        locality_groups=groups,
     )
-    result = run_specs([spec], **_runner_kwargs(args))[0]
+    specs = [spec]
+    if args.shards > 1:
+        specs.append(mailbox_spec(
+            clients=args.clients, recipients=args.recipients,
+            messages=args.messages, seed=args.seed,
+            delivery=args.delivery, faults=canonical,
+            shards=args.shards, locality_groups=args.shards,
+        ))
+    results = run_specs(specs, **_runner_kwargs(args))
+    result = results[0]
     metrics = result.require()
     extra = result.extra or {}
     mb = extra.get("mailbox", {})
     cached = " [cached]" if result.cached else ""
+    sharded_note = (f", shards={args.shards}" if args.shards > 1 else "")
     print(render_table(
         f"Mailbox workload: {args.clients:,} clients, "
         f"{args.recipients} recipients, {args.messages} msgs/gateway "
         f"(delivery={args.delivery}, "
-        f"faults={canonical or 'none'}){cached}",
+        f"faults={canonical or 'none'}{sharded_note}){cached}",
         ["metric", "value"],
         [
             ["elapsed cycles", metrics.elapsed_cycles],
@@ -329,6 +352,46 @@ def _cmd_mailbox(args) -> int:
             ["queued at exit", extra.get("queued_at_exit", 0)],
         ],
     ))
+    if args.shards > 1:
+        from dataclasses import asdict
+
+        sharded = results[1]
+        sharded_metrics = sharded.require()
+        sharded_extra = sharded.extra or {}
+        mismatches = [
+            (key, value, asdict(sharded_metrics)[key])
+            for key, value in asdict(metrics).items()
+            if value != asdict(sharded_metrics)[key]
+        ]
+        print()
+        print(render_table(
+            f"Sharded execution (--shards {args.shards}, locality "
+            f"groups {args.shards})",
+            ["quantity", "value"],
+            [
+                ["mode", sharded_extra.get("shard_mode", "?")],
+                ["window barriers",
+                 sharded_extra.get("shard_epochs", 0)],
+                ["cross-shard messages",
+                 sharded_extra.get("cross_shard_messages", 0)],
+                ["exchange bytes",
+                 sharded_extra.get("bytes_exchanged", 0)],
+                ["serial fallbacks",
+                 sharded_extra.get("serial_fallbacks", 0)],
+                ["coupling flags",
+                 ", ".join(sharded_extra.get("shard_flags", []))
+                 or "none"],
+                ["metrics identical to serial",
+                 "yes" if not mismatches else "NO"],
+            ],
+        ))
+        if mismatches:
+            print("\nFAIL: sharded metrics diverge from "
+                  "single-process:")
+            for key, serial_value, sharded_value in mismatches:
+                print(f"  {key}: serial={serial_value!r} "
+                      f"sharded={sharded_value!r}")
+            return 1
     if args.check_buffered and metrics.buffered_fraction == 0:
         print("\nFAIL: buffered fraction is zero — the open-loop "
               "fan-in did not exercise two-case buffering")
@@ -511,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="confine synth traffic to N contiguous node "
                           "groups (aligned groups let shards free-run "
                           "without barriers)")
+    psh.add_argument("--net-base-latency", type=int, default=10,
+                     help="fabric base latency in cycles (default 10); "
+                          "WAN-scale values, e.g. 2000, give the "
+                          "windowed protocol enough lookahead to "
+                          "amortize barriers on all-to-all traffic")
     psh.set_defaults(fn=_cmd_shard)
 
     pa = sub.add_parser("ablations", help="design-choice ablations")
@@ -540,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("twocase", "zerocopy", "damq"),
                     default="twocase",
                     help="NI delivery discipline (see docs/DELIVERY.md)")
+    pm.add_argument("--shards", type=int, default=1,
+                    help="also run the workload across N shard worker "
+                         "processes (locality groups = N) and verify "
+                         "the metrics are bit-identical to the serial "
+                         "run; N must divide the gateway, mailbox and "
+                         "recipient counts")
     pm.add_argument("--check-buffered", action="store_true",
                     help="exit non-zero unless the run exercised the "
                          "buffered path (CI smoke gate)")

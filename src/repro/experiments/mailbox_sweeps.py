@@ -44,28 +44,51 @@ def run_mailbox(clients: int = 100_000, recipients: int = 48,
                 num_nodes: int = MAILBOX_NODES_TOTAL,
                 mailbox_nodes: int = MAILBOX_SERVICE_NODES,
                 seed: int = 1, delivery: str = "twocase",
-                faults: str = "") -> Tuple[RunMetrics, Dict[str, Any]]:
+                faults: str = "", shards: int = 1,
+                locality_groups: int = 0,
+                info: Optional[Dict[str, Any]] = None,
+                ) -> Tuple[RunMetrics, Dict[str, Any]]:
     """One mailbox run; returns ``(metrics, extra)``.
 
     ``extra`` carries the mailbox service's own counter snapshot plus
     the fixed-edge retrieval-latency buckets — all integers, so it
     rides the result cache bit-identically.
+
+    ``shards > 1`` routes through :func:`repro.shard.run_sharded`
+    (bit-identical metrics or an automatic serial fallback);
+    ``locality_groups`` confines gateway/mailbox traffic to contiguous
+    node groups — set it equal to ``shards`` so aligned groups let the
+    shards free-run without barriers. ``info`` receives wall-clock
+    shard timings (benchmarks only; never cached).
     """
     config = SimulationConfig(num_nodes=num_nodes, seed=seed,
-                              delivery=delivery)
+                              delivery=delivery, shards=shards)
     if faults:
         config = config.with_faults(faults)
-    machine = Machine(config)
     app = MailboxApplication(
         num_nodes=num_nodes, mailbox_nodes=mailbox_nodes,
         clients=clients, recipients=recipients,
         messages_per_gateway=messages, mean_gap=mean_gap,
         mailbox_capacity=mailbox_capacity,
         max_active_flows=max_active_flows, seed=seed,
+        locality_groups=locality_groups,
     )
+    limit = 50_000_000_000
+    if shards > 1:
+        from repro.shard import run_sharded
+
+        metrics, extra = run_sharded(config, [app], limit=limit,
+                                     info=info)
+        # Distributed modes merge the per-shard snapshots; the serial
+        # modes ran the parent's own app instance, so read it directly.
+        extra.setdefault("mailbox", app.stats.snapshot())
+        extra.setdefault("queued_at_exit", app.service.queued_total())
+        extra["latency_edges"] = list(RETRIEVAL_LATENCY_EDGES)
+        return metrics, extra
+    machine = Machine(config)
     job = machine.add_job(app)
     machine.start()
-    machine.run_until_job_done(job, limit=50_000_000_000)
+    machine.run_until_job_done(job, limit=limit)
     metrics = collect_metrics(machine, job)
     extra: Dict[str, Any] = {
         "mailbox": app.stats.snapshot(),
@@ -87,11 +110,16 @@ def mailbox_spec(clients: int = 100_000, recipients: int = 48,
                  num_nodes: int = MAILBOX_NODES_TOTAL,
                  mailbox_nodes: int = MAILBOX_SERVICE_NODES,
                  seed: int = 1, delivery: str = "twocase",
-                 faults: str = "") -> RunSpec:
+                 faults: str = "", shards: int = 1,
+                 locality_groups: int = 0) -> RunSpec:
     """The :class:`RunSpec` describing one mailbox run.
 
-    Delivery discipline and fault plan join the spec only when
-    non-default, the same cache-key convention as every other kind.
+    Delivery discipline, fault plan, shard count and locality-group
+    count join the spec only when non-default, the same cache-key
+    convention as every other kind. (``shards`` changes only *how* the
+    run is executed — sharded results are certified bit-identical —
+    but it still joins the key, keeping cache entries honest about
+    provenance.)
     """
     params = dict(clients=clients, recipients=recipients,
                   messages=messages, mean_gap=mean_gap,
@@ -103,6 +131,10 @@ def mailbox_spec(clients: int = 100_000, recipients: int = 48,
         params["delivery"] = delivery
     if faults:
         params["faults"] = faults
+    if shards > 1:
+        params["shards"] = shards
+    if locality_groups > 0:
+        params["locality_groups"] = locality_groups
     return RunSpec.make("mailbox", **params)
 
 

@@ -46,7 +46,9 @@ def execute_synth(group_size: int, t_betw: int, seed: int = 1,
                   timeslice: int = 500_000,
                   delivery: str = "twocase",
                   shards: int = 1, locality_groups: int = 0,
-                  num_nodes: int = SYNTH_NODES):
+                  num_nodes: int = SYNTH_NODES,
+                  net_base_latency: int = 10,
+                  fabric_credits: int = 16):
     """Runner executor for one synth-N run (kind ``synth``)."""
     extra: dict = {}
     metrics = run_synth(group_size, t_betw, seed=seed,
@@ -54,7 +56,10 @@ def execute_synth(group_size: int, t_betw: int, seed: int = 1,
                         messages_per_node=messages_per_node,
                         timeslice=timeslice, delivery=delivery,
                         shards=shards, locality_groups=locality_groups,
-                        num_nodes=num_nodes, extra_out=extra)
+                        num_nodes=num_nodes,
+                        net_base_latency=net_base_latency,
+                        fabric_credits=fabric_credits,
+                        extra_out=extra)
     return metrics, extra
 
 
@@ -64,14 +69,18 @@ def synth_spec(group_size: int, t_betw: int, seed: int = 1,
                timeslice: int = 500_000,
                delivery: str = "twocase",
                shards: int = 1, locality_groups: int = 0,
-               num_nodes: int = SYNTH_NODES) -> RunSpec:
+               num_nodes: int = SYNTH_NODES,
+               net_base_latency: int = 10,
+               fabric_credits: int = 16) -> RunSpec:
     """The :class:`RunSpec` describing one synth-N run.
 
-    The delivery discipline, shard count, locality-group count and node
-    count join the spec only when non-default, so pre-existing cache
-    entries stay valid. (``shards`` changes only *how* the run is
-    executed — sharded results are certified bit-identical — but it
-    still joins the key, keeping cache entries honest about provenance.)
+    The delivery discipline, shard count, locality-group count, node
+    count, base fabric latency and credit depth join the spec only
+    when non-default,
+    so pre-existing cache entries stay valid. (``shards`` changes only
+    *how* the run is executed — sharded results are certified
+    bit-identical — but it still joins the key, keeping cache entries
+    honest about provenance.)
     """
     params = dict(group_size=group_size, t_betw=t_betw, seed=seed,
                   buffer_cost_extra=buffer_cost_extra,
@@ -85,6 +94,10 @@ def synth_spec(group_size: int, t_betw: int, seed: int = 1,
         params["locality_groups"] = locality_groups
     if num_nodes != SYNTH_NODES:
         params["num_nodes"] = num_nodes
+    if net_base_latency != 10:
+        params["net_base_latency"] = net_base_latency
+    if fabric_credits != 16:
+        params["fabric_credits"] = fabric_credits
     return RunSpec.make("synth", **params)
 
 
@@ -95,6 +108,8 @@ def run_synth(group_size: int, t_betw: int, seed: int = 1,
               delivery: str = "twocase",
               shards: int = 1, locality_groups: int = 0,
               num_nodes: int = SYNTH_NODES,
+              net_base_latency: int = 10,
+              fabric_credits: int = 16,
               extra_out: Optional[dict] = None,
               info: Optional[dict] = None) -> RunMetrics:
     """One synth-N run multiprogrammed against null at 1% skew.
@@ -102,13 +117,22 @@ def run_synth(group_size: int, t_betw: int, seed: int = 1,
     ``shards > 1`` routes through :func:`repro.shard.run_sharded`
     (bit-identical metrics or an automatic serial fallback);
     ``locality_groups`` confines synth traffic to contiguous node
-    groups. ``extra_out`` receives the deterministic shard counters,
-    ``info`` the wall-clock ones (benchmarks only; never cached).
+    groups. ``net_base_latency`` scales the fabric's base hop cost —
+    WAN-scale values give the windowed protocol enough lookahead to
+    amortize its barriers on all-to-all traffic. ``fabric_credits``
+    deepens the per-destination credit pool — WAN latencies keep many
+    messages in flight per destination, and the stock pool of 16 both
+    blocks senders and trips the sharded credit-occupancy sweep.
+    ``extra_out`` receives
+    the deterministic shard counters, ``info`` the wall-clock ones
+    (benchmarks only; never cached).
     """
     config = SimulationConfig(
         num_nodes=num_nodes, seed=seed, skew_fraction=SYNTH_SKEW,
         timeslice=timeslice, buffer_insert_extra=buffer_cost_extra,
         delivery=delivery, shards=shards,
+        net_base_latency=net_base_latency,
+        fabric_credits=fabric_credits,
     )
     app = SynthApplication(
         group_size=group_size, t_betw=t_betw, t_hand=T_HAND,

@@ -121,6 +121,7 @@ class Observatory:
             "mailbox.flows_evicted", "mailbox.dedup_evictions",
             "shard.epochs", "shard.cross_shard_messages",
             "shard.barrier_stalls", "shard.serial_fallbacks",
+            "shard.bytes_exchanged", "shard.empty_epochs_coalesced",
         ):
             reg.counter(name)
         from repro.apps.mailbox import RETRIEVAL_LATENCY_EDGES
@@ -138,6 +139,7 @@ class Observatory:
             "buffering.max_pages", "buffering.max_queued_messages",
             "two_case.buffered_fraction",
             "mailbox.occupancy_peak", "mailbox.active_flows_peak",
+            "shard.encode_seconds",
         ):
             reg.gauge(name)
 
@@ -338,6 +340,14 @@ class Observatory:
               shard.barrier_stalls if shard else 0)
         total("shard.serial_fallbacks",
               shard.serial_fallbacks if shard else 0)
+        total("shard.bytes_exchanged",
+              shard.bytes_exchanged if shard else 0)
+        total("shard.empty_epochs_coalesced",
+              shard.empty_epochs_coalesced if shard else 0)
+        # Wall-clock, not simulated time: nondeterministic by nature,
+        # which is why it lives here and never in cacheable extras.
+        gauge("shard.encode_seconds",
+              shard.encode_seconds if shard else 0.0)
 
         if self.sampler is not None and not self._finalized:
             self.sampler.final_sample()

@@ -19,6 +19,7 @@ decide who computes the answer.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import sys
 import time
 from dataclasses import dataclass, field
@@ -27,9 +28,19 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.metrics import RunMetrics, collect_metrics
 from repro.machine.machine import Machine
 from repro.runner.executor import fork_available, notice_serial_fallback
-from repro.shard.lookahead import lookahead_for
+from repro.shard.channel import (
+    RECORD_SIZE, ExchangeSegment, copy_record, peek_arrival, peek_dst,
+    raw_record,
+)
+from repro.shard.lookahead import (
+    lookahead_for, next_window_bound, windows_coalesced,
+)
 from repro.shard.partition import owner_of, partition_nodes
 from repro.shard.worker import shard_worker
+
+#: Fixed-width records per exchange segment (~1.2 MiB each at the
+#: 148-byte record size); overflow rides the pipe, it never fails.
+EXCHANGE_SLOTS = 8_192
 
 
 @dataclass
@@ -41,6 +52,15 @@ class ShardStats:
     cross_shard_messages: int = 0
     barrier_stalls: int = 0
     serial_fallbacks: int = 0
+    #: Exchange-channel accounting: struct-record plus pickled-fallback
+    #: bytes routed between shards, and static-window barriers skipped
+    #: by the adaptive (null-message) bound.
+    bytes_exchanged: int = 0
+    empty_epochs_coalesced: int = 0
+    #: Wall-clock seconds spent struct-packing outboxes, summed over
+    #: workers. Nondeterministic: reported via ``info``/obs, never via
+    #: the cacheable ``extra`` payload.
+    encode_seconds: float = 0.0
     flags: Tuple[str, ...] = field(default_factory=tuple)
 
 
@@ -122,6 +142,34 @@ def _merge_metrics(config, name: str,
         count for p in partials
         for count in p["transitions_to_buffered"].values()
     )
+    mailbox = [m for p in partials for m in p["mailbox"]]
+    mailbox_fields: Dict[str, Any] = {}
+    if mailbox:
+        # Sums for counters, max for the per-node occupancy high-water.
+        # active_flows_peak *sums*: each flow table's size is monotone
+        # non-decreasing (LRU evictions only fire above the cap, which
+        # holds the size constant), so the global peak of the sum is
+        # the sum of the final sizes — i.e. the sum of the per-shard
+        # peaks. The latency mean replays _mailbox_metrics' expression
+        # on the summed integers, bit-identically.
+        total = sum(m["latency_count"] for m in mailbox)
+        weighted = sum(m["latency_total"] for m in mailbox)
+        mailbox_fields = dict(
+            mailbox_enqueued=sum(m["enqueued"] for m in mailbox),
+            mailbox_retrieved=sum(m["retrieved"] for m in mailbox),
+            mailbox_overflow_drops=sum(m["overflow_drops"]
+                                       for m in mailbox),
+            mailbox_dup_suppressed=sum(m["duplicates_suppressed"]
+                                       for m in mailbox),
+            mailbox_occupancy_peak=max(m["occupancy_peak"]
+                                       for m in mailbox),
+            mailbox_active_flows_peak=sum(m["active_flows_peak"]
+                                          for m in mailbox),
+            mailbox_replays=sum(m["replays"] for m in mailbox),
+            mailbox_crash_losses=sum(m["crash_losses"]
+                                     for m in mailbox),
+            retrieval_latency_mean=(weighted / total) if total else 0.0,
+        )
     return RunMetrics(
         name=name,
         elapsed_cycles=elapsed,
@@ -146,6 +194,11 @@ def _merge_metrics(config, name: str,
         damq_evictions=sum(p["damq_evictions"] for p in partials),
         damq_peak_occupancy=max(p["damq_peak_occupancy"]
                                 for p in partials),
+        messages_dropped=sum(p["messages_dropped"] for p in partials),
+        messages_duplicated=sum(p["messages_duplicated"]
+                                for p in partials),
+        retries=sum(p["retries"] for p in partials),
+        **mailbox_fields,
     )
 
 
@@ -216,14 +269,38 @@ def run_sharded(config, apps: Sequence[Any], measured_index: int = 0,
         return serial("serial-fallback",
                       "coupling flags: " + ", ".join(flags))
 
+    stats.encode_seconds = sum(p["encode_seconds"] for p in partials)
     if info is not None:
         info["shard_events"] = [p["events_executed"] for p in partials]
         info["shard_wall_seconds"] = [p["wall_seconds"]
                                       for p in partials]
         info["wall_seconds"] = time.perf_counter() - started
+        info["encode_seconds"] = stats.encode_seconds
     metrics = _merge_metrics(config, name, partials)
     mode = "free-run" if free_run else "windowed"
-    return metrics, _extra(mode, groups, lookahead, stats)
+    extra = _extra(mode, groups, lookahead, stats)
+    mailbox = [m for p in partials for m in p["mailbox"]]
+    if mailbox:
+        extra["mailbox"] = _merge_mailbox_snapshots(
+            [m["snapshot"] for m in mailbox])
+        extra["queued_at_exit"] = sum(m["queued"] for m in mailbox)
+    return metrics, extra
+
+
+def _merge_mailbox_snapshots(snaps: List[Dict[str, Any]],
+                             ) -> Dict[str, Any]:
+    """Combine per-shard MailboxStats snapshots (sum counters, max the
+    per-node occupancy high-water, vector-sum histogram buckets)."""
+    out = dict(snaps[0])
+    for snap in snaps[1:]:
+        for key, value in snap.items():
+            if key == "occupancy_peak":
+                out[key] = max(out[key], value)
+            elif key == "latency_counts":
+                out[key] = [a + b for a, b in zip(out[key], value)]
+            else:
+                out[key] = out[key] + value
+    return out
 
 
 def _extra(mode: str, groups, lookahead,
@@ -237,6 +314,8 @@ def _extra(mode: str, groups, lookahead,
         "cross_shard_messages": stats.cross_shard_messages,
         "barrier_stalls": stats.barrier_stalls,
         "serial_fallbacks": stats.serial_fallbacks,
+        "bytes_exchanged": stats.bytes_exchanged,
+        "empty_epochs_coalesced": stats.empty_epochs_coalesced,
         "shard_flags": list(stats.flags),
     }
 
@@ -245,19 +324,31 @@ def _run_workers(config, apps, measured_index, limit, groups,
                  lookahead, stats: ShardStats):
     """Spawn one forked worker per shard and drive the barriers.
 
+    Windowed mode pre-allocates one (outbound, inbound) pair of
+    shared-memory exchange segments per worker *before* forking, so
+    children inherit the mappings; the parent alone unlinks them.
     Returns the list of per-shard harvest dicts, or an error string
     (worker traceback / protocol breakdown) meaning "fall back".
     """
     context = multiprocessing.get_context("fork")
     conns = []
     procs = []
+    exchanges: List[Optional[Tuple[ExchangeSegment, ExchangeSegment]]]
+    exchanges = [None] * len(groups)
     try:
+        if lookahead is not None:
+            exchanges = [
+                (ExchangeSegment(EXCHANGE_SLOTS),
+                 ExchangeSegment(EXCHANGE_SLOTS))
+                for _ in groups
+            ]
         for index in range(len(groups)):
             parent_conn, child_conn = context.Pipe()
             proc = context.Process(
                 target=shard_worker,
                 args=(child_conn, index, groups, config, apps,
-                      measured_index, lookahead, limit),
+                      measured_index, lookahead, limit,
+                      exchanges[index]),
                 daemon=True,
             )
             proc.start()
@@ -266,9 +357,12 @@ def _run_workers(config, apps, measured_index, limit, groups,
             procs.append(proc)
 
         if lookahead is not None:
-            error = _drive_barriers(conns, groups, stats)
-            if error is not None:
-                return error
+            error = _drive_barriers(conns, groups, exchanges,
+                                    lookahead, stats)
+        else:
+            error = _drive_finish_alignment(conns)
+        if error is not None:
+            return error
 
         partials: List[Optional[Dict[str, Any]]] = [None] * len(conns)
         for index, conn in enumerate(conns):
@@ -288,15 +382,57 @@ def _run_workers(config, apps, measured_index, limit, groups,
             if proc.is_alive():  # pragma: no cover - cleanup path
                 proc.terminate()
                 proc.join()
+        for exchange in exchanges:
+            if exchange is not None:
+                exchange[0].destroy()
+                exchange[1].destroy()
 
 
-def _drive_barriers(conns, groups, stats: ShardStats) -> Optional[str]:
-    """The conservative window loop: collect outboxes, route, repeat.
+def _drive_finish_alignment(conns) -> Optional[str]:
+    """Free-run mode's one barrier: collect local finish times, send
+    back the global finish cycle so early-finishing shards execute
+    their queued tail work up to (not including) it — the events the
+    monolithic engine ran between their local finish and its stop
+    point. ``ties`` tells workers whether the last-finishing shard is
+    unique (a tie makes pending work at the finish cycle ambiguous;
+    see :mod:`repro.shard.worker`)."""
+    finishes = []
+    for index, conn in enumerate(conns):
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return f"shard {index} died before finish alignment"
+        if message[0] == "error":
+            return f"shard {index} failed:\n{message[1]}"
+        if message[0] != "flocal":  # pragma: no cover - protocol bug
+            return f"shard {index} sent unexpected {message[0]!r}"
+        finishes.append(message[1])
+    global_finish = max(finishes)
+    ties = sum(1 for t in finishes if t == global_finish)
+    for conn in conns:
+        conn.send(("align", global_finish, ties))
+    return None
+
+
+def _drive_barriers(conns, groups, exchanges, lookahead,
+                    stats: ShardStats) -> Optional[str]:
+    """The adaptive window loop: collect outboxes, route, re-bound.
+
+    Reports carry ``(epoch, packed_records, fallback, local_done,
+    in_flight, executed, next_event, table_crc)``. Struct records are
+    routed between shared-memory segments as raw byte copies (only the
+    destination and arrival fields are unpacked); pickled fallback
+    entries ride the pipe. The next window bound is derived from the
+    earliest pending event or routed arrival anywhere plus the static
+    lookahead (see :func:`repro.shard.lookahead.next_window_bound`),
+    so consecutive windows no shard has work for collapse into one.
 
     Termination: every shard reports local completion, nothing was
     exchanged this barrier, and no shard holds in-flight traffic — so
     no future window can contain any event that touches the job.
     """
+    prev_bound = lookahead - 1
+    first_barrier = True
     while True:
         reports = []
         for index, conn in enumerate(conns):
@@ -310,24 +446,64 @@ def _drive_barriers(conns, groups, stats: ShardStats) -> Optional[str]:
                 return f"shard {index} sent unexpected {message[0]!r}"
             reports.append(message)
         stats.epochs += 1
-        inbound: List[List[Any]] = [[] for _ in conns]
+        if first_barrier:
+            first_barrier = False
+            if len({report[8] for report in reports}) != 1:
+                # pragma: no cover - replicas derive identical tables
+                return "handler intern tables diverged across shards"
+        in_counts = [0] * len(conns)
+        fallback_in: List[List[Any]] = [[] for _ in conns]
         exchanged = 0
-        for _, _, encoded, _, _, executed in reports:
+        min_arrival: Optional[int] = None
+        for index, report in enumerate(reports):
+            _, _, packed, fallback, _, _, executed, _, _ = report
             if not executed:
                 stats.barrier_stalls += 1
-            for wire, origin in encoded:
-                owner = owner_of(groups, wire[1])  # wire[1] is dst
-                inbound[owner].append((wire, origin))
+            src_buf = exchanges[index][0].buf
+            for slot in range(packed):
+                dst = peek_dst(src_buf, slot)
+                arrival = peek_arrival(src_buf, slot)
+                owner = owner_of(groups, dst)
+                in_seg = exchanges[owner][1]
+                filled = in_counts[owner]
+                if filled < in_seg.slots:
+                    copy_record(src_buf, slot, in_seg.buf, filled)
+                    in_counts[owner] = filled + 1
+                else:
+                    fallback_in[owner].append(
+                        ("raw", raw_record(src_buf, slot)))
+                if min_arrival is None or arrival < min_arrival:
+                    min_arrival = arrival
                 exchanged += 1
+            stats.bytes_exchanged += packed * RECORD_SIZE
+            for wire, origin in fallback:
+                owner = owner_of(groups, wire[1])  # wire[1] is dst
+                fallback_in[owner].append(("enc", wire, origin))
+                arrival = wire[7]
+                if min_arrival is None or arrival < min_arrival:
+                    min_arrival = arrival
+                exchanged += 1
+            if fallback:
+                stats.bytes_exchanged += len(pickle.dumps(fallback))
         stats.cross_shard_messages += exchanged
-        all_done = all(report[3] for report in reports)
-        in_flight = sum(report[4] for report in reports)
+        all_done = all(report[4] for report in reports)
+        in_flight = sum(report[5] for report in reports)
         if all_done and not exchanged and not in_flight:
             for conn in conns:
                 conn.send(("finish",))
             return None
-        for conn, batch in zip(conns, inbound):
-            conn.send(("continue", batch))
+        next_events = [report[7] for report in reports]
+        arrivals = [] if min_arrival is None else [min_arrival]
+        bound = next_window_bound(prev_bound, next_events, arrivals,
+                                  lookahead)
+        if bound is None:
+            return ("no shard has pending events but the job is "
+                    "unfinished (protocol breakdown)")
+        stats.empty_epochs_coalesced += windows_coalesced(
+            prev_bound, bound, lookahead)
+        prev_bound = bound
+        for conn, count, batch in zip(conns, in_counts, fallback_in):
+            conn.send(("continue", count, batch, bound))
 
 
 __all__ = ["ShardStats", "run_sharded"]

@@ -61,5 +61,42 @@ def lookahead_for(config, groups: Sequence[Tuple[int, ...]],
     return min_cross_shard_latency(topology, groups)
 
 
+def next_window_bound(prev_bound: int,
+                      next_events: Sequence[Optional[int]],
+                      inbound_arrivals: Sequence[int],
+                      lookahead: int) -> Optional[int]:
+    """The adaptive (null-message-style) bound for the next window.
+
+    A static protocol runs fixed windows of length ``L``; when shards
+    idle between distant events, every one of those barriers is wasted.
+    Instead, each barrier computes the earliest cycle at which *any*
+    shard can execute *any* event — the minimum over every shard's next
+    pending event time and every arrival routed this barrier — and runs
+    to ``min_next + L - 1``.
+
+    Correctness is the same CMB argument, re-anchored: every event a
+    shard executes in the next window (including ones spawned inside
+    it) happens at some ``t >= min_next``, so any cross-shard message it
+    launches arrives at ``>= min_next + L > bound`` — strictly beyond
+    the window — and will be exchanged at the next barrier before its
+    owner's clock passes it. Returns None when nothing is pending
+    anywhere (the coordinator treats that as a protocol breakdown if
+    the job is unfinished).
+    """
+    candidates = [t for t in next_events if t is not None]
+    candidates.extend(inbound_arrivals)
+    if not candidates:
+        return None
+    bound = min(candidates) + lookahead - 1
+    # Never regress: engines have already run to prev_bound.
+    return max(bound, prev_bound + 1)
+
+
+def windows_coalesced(prev_bound: int, bound: int, lookahead: int) -> int:
+    """How many static-``L`` barriers the adaptive bound skipped over
+    (the ``shard.empty_epochs_coalesced`` counter)."""
+    return max(0, (bound - prev_bound) // lookahead - 1)
+
+
 __all__ = ["MIN_MESSAGE_WORDS", "min_cross_shard_latency",
-           "lookahead_for"]
+           "lookahead_for", "next_window_bound", "windows_coalesced"]

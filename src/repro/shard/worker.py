@@ -2,27 +2,50 @@
 
 Each worker builds its full-machine replica (:class:`~repro.shard.
 machine.ShardMachine`), drives its local node group, and talks to the
-coordinator over one duplex pipe. Two execution modes:
+coordinator over one duplex pipe plus (windowed mode) a pair of
+pre-forked shared-memory exchange segments. Two execution modes:
 
 * **Windowed** (``lookahead`` given) — the conservative time-window
-  protocol. The engine runs one lookahead window at a time; at each
-  barrier the worker ships its epoch outbox up, receives the inbound
-  batch routed to it, injects each message at its carried arrival cycle
-  and proceeds to the next window.
+  protocol with adaptive bounds. The engine runs to the coordinator's
+  current window bound; at each barrier the worker struct-packs its
+  epoch outbox into its outbound segment (pickling only records the
+  fixed format cannot carry), reports its next pending event time, and
+  receives the inbound batch routed to it plus the next bound — derived
+  null-message style from the earliest pending event anywhere, so idle
+  stretches cost one barrier instead of one per lookahead window.
 * **Free-run** (``lookahead is None``) — the partition provably admits
-  no cross-shard traffic (application locality groups align with shard
-  groups), so the worker runs to local completion with no barriers at
-  all; a stop hook on the job's finish notifications halts the engine
-  the moment every local node's main has returned.
+  no cross-shard traffic (application locality groups nest inside the
+  shard groups), so the worker runs to local completion with no
+  epoch barriers; a stop hook on the job's finish notifications halts
+  the engine the moment every local node's main has returned. One
+  **finish-alignment** barrier follows: the monolithic engine stops at
+  the *global* finish event, so a shard that finished early must keep
+  executing its queued tail work (NI-queue drains, in-flight
+  deliveries) up to the cycle *before* the global finish — every such
+  event ran in the monolithic order too, strictly before the finishing
+  event. Events at exactly the global finish cycle are the one
+  ambiguity (their order against the finishing event is an engine
+  artifact), so a shard still holding one raises
+  ``finish-cycle-collision`` and the run falls back.
 
 Wire protocol (worker -> coordinator):
 
-* ``("epoch", index, encoded_outbox, local_done, in_flight,
-  executed_delta)`` at each barrier (windowed mode);
+* ``("epoch", index, packed_records, fallback, local_done, in_flight,
+  executed_delta, next_event_time, table_crc)`` at each barrier
+  (windowed mode); ``packed_records`` counts struct records already in
+  the outbound segment, ``fallback`` is the pickled ``(wire, origin)``
+  list for everything else, ``table_crc`` is the intern-table checksum
+  on the first barrier (None afterwards);
+* ``("flocal", local_finish_time)`` once, at local completion
+  (free-run mode);
 * ``("result", partial)`` once, at the end — the harvest dict the
   coordinator merges (or ``("error", traceback_text)``).
 
-Coordinator -> worker: ``("continue", inbound)`` or ``("finish",)``.
+Coordinator -> worker: ``("continue", inbound_records, fallback,
+next_bound)`` or ``("finish",)``; fallback entries are ``("enc", wire,
+origin)`` pickled tuples or ``("raw", record_bytes)`` segment-overflow
+relays. Free-run mode instead gets one ``("align", global_finish,
+ties)`` reply to its ``flocal`` report.
 """
 
 from __future__ import annotations
@@ -31,7 +54,10 @@ import time
 import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.shard.channel import decode_message, encode_message
+from repro.shard.channel import (
+    decode_message, encode_message, handler_table, pack_record,
+    table_crc, unpack_record,
+)
 from repro.shard.machine import ShardMachine
 
 
@@ -61,12 +87,19 @@ def _install_local_stop(machine: ShardMachine, job) -> None:
 
 
 def _harvest(machine: ShardMachine, job, wall_started: float,
-             flags: set) -> Dict[str, Any]:
+             flags: set, windowed: bool,
+             encode_seconds: float = 0.0) -> Dict[str, Any]:
     """Everything the coordinator needs from this shard, picklable."""
     fabric = machine.fabric
     local = sorted(machine.local_nodes)
     flags = set(flags) | set(fabric.flags)
-    if fabric.stats.sender_blocks:
+    if fabric.stats.sender_blocks and windowed:
+        # Free-run: every message to a local node originates in the
+        # local group (certified by zero cross-shard sends, else the
+        # run is discarded anyway), so per-destination occupancy — and
+        # therefore every blocking decision — is exactly the
+        # monolithic fabric's. Windowed: cross-shard sends bypass
+        # source-side occupancy, so blocking cannot be trusted.
         flags.add("sender-blocked")
     if machine.overflow.stats.advisories:
         flags.add("overflow-advisory")
@@ -76,20 +109,35 @@ def _harvest(machine: ShardMachine, job, wall_started: float,
         flags.add("overflow-exhaustion")
     if machine.scheduler.stats.gang_advisories:
         flags.add("gang-advisory")
-    if machine.transports:
-        flags.add("transport")
-    if machine.mailboxes:
-        flags.add("mailbox")
-    if fabric.in_flight_local():
+    if windowed:
+        # Transport endpoints and mailbox services close over state the
+        # window protocol cannot ferry (handlers bound to non-app
+        # objects). In free-run mode they are safe: the zero
+        # cross-shard-sends certificate proves every endpoint only ever
+        # saw its own group's traffic, exactly as in the monolithic
+        # run (applications declaring traffic_locality_groups() promise
+        # group-disjoint shared state; see repro.apps.base).
+        if machine.transports:
+            flags.add("transport")
+        if machine.mailboxes:
+            flags.add("mailbox")
+    if fabric.in_flight_local() and windowed:
+        # Free-run: after finish alignment the shard has executed every
+        # event below the global finish cycle, so whatever is still in
+        # flight was equally in flight when the monolithic engine
+        # stopped (arrivals at exactly the finish cycle raise
+        # finish-cycle-collision instead). Windowed: in-flight traffic
+        # at termination means the protocol cut deliveries short.
         flags.add("in-flight-at-finish")
     finish_times = [
         job.node_states[node].main_finish_time for node in local
     ]
-    return dict(
+    partial = dict(
         shard=machine.shard_index,
         flags=sorted(flags),
         events_executed=machine.engine.events_executed,
         wall_seconds=time.perf_counter() - wall_started,
+        encode_seconds=encode_seconds,
         local_finish=max(
             (t for t in finish_times if t is not None), default=None
         ),
@@ -128,23 +176,50 @@ def _harvest(machine: ShardMachine, job, wall_started: float,
             machine.nodes[node].ni.discipline.stats.damq_peak_occupancy
             for node in local
         ),
+        messages_dropped=fabric.stats.messages_dropped,
+        messages_duplicated=fabric.stats.messages_duplicated,
+        retries=sum(t.retransmissions for t in machine.transports),
         cross_shard_sends=fabric.cross_shard_sends,
         occ_injects={dst: list(times) for dst, times
                      in fabric.occ_injects.items()},
         occ_releases={dst: list(times) for dst, times
                       in fabric.occ_releases.items()},
     )
+    partial["mailbox"] = [
+        dict(
+            enqueued=s.stats.enqueued,
+            retrieved=s.stats.retrieved,
+            overflow_drops=s.stats.overflow_drops,
+            duplicates_suppressed=s.stats.duplicates_suppressed,
+            occupancy_peak=s.stats.occupancy_peak,
+            active_flows_peak=s.stats.active_flows_peak,
+            replays=s.stats.replays,
+            crash_losses=s.stats.crash_losses,
+            latency_count=s.stats.latency_count,
+            latency_total=s.stats.latency_total,
+            snapshot=s.stats.snapshot(),
+            queued=s.queued_total(),
+        )
+        for s in machine.mailboxes
+    ]
+    return partial
 
 
 def shard_worker(conn, shard_index: int,
                  groups: Sequence[Tuple[int, ...]],
                  config, apps: Sequence[Any], measured_index: int,
                  lookahead: Optional[int],
-                 limit: Optional[int]) -> None:
-    """Process body: never raises — errors travel up the pipe."""
+                 limit: Optional[int],
+                 exchange=None) -> None:
+    """Process body: never raises — errors travel up the pipe.
+
+    ``exchange`` is this worker's ``(outbound, inbound)``
+    :class:`~repro.shard.channel.ExchangeSegment` pair, created by the
+    coordinator before forking (windowed mode only).
+    """
     try:
         _shard_worker(conn, shard_index, groups, config, apps,
-                      measured_index, lookahead, limit)
+                      measured_index, lookahead, limit, exchange)
     except Exception:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -155,7 +230,7 @@ def shard_worker(conn, shard_index: int,
 
 
 def _shard_worker(conn, shard_index, groups, config, apps,
-                  measured_index, lookahead, limit) -> None:
+                  measured_index, lookahead, limit, exchange) -> None:
     wall_started = time.perf_counter()
     machine = ShardMachine(config, groups, shard_index,
                            track_identity=lookahead is not None)
@@ -179,44 +254,99 @@ def _shard_worker(conn, shard_index, groups, config, apps,
                 f"shard {shard_index}: job {job.name} did not finish "
                 f"within {limit} cycles"
             )
-        conn.send(("result", _harvest(machine, job, wall_started, flags)))
+        # Finish alignment. The monolithic engine stops at the *global*
+        # finish event, so everything queued here before that cycle —
+        # NI input-queue drains, in-flight deliveries, their follow-on
+        # work — executed in the monolithic run too (time order puts it
+        # strictly before the finishing event). Run it. Events at
+        # exactly the global finish cycle are ambiguous (their dispatch
+        # order against the finishing event is an engine-seq artifact),
+        # except on the unique last-finishing shard, whose own stop
+        # point already matches the monolithic one.
+        t_local = max(job.node_states[node].main_finish_time
+                      for node in local)
+        conn.send(("flocal", t_local))
+        _, global_finish, ties = conn.recv()
+        if t_local < global_finish:
+            machine.engine.run(until=global_finish - 1)
+        if (machine.engine.peek_time() == global_finish
+                and (t_local < global_finish or ties > 1)):
+            flags.add("finish-cycle-collision")
+        conn.send(("result",
+                   _harvest(machine, job, wall_started, flags,
+                            windowed=False)))
         return
+
+    names = handler_table(machine.apps_by_gid)
+    index = {name: i for i, name in enumerate(names)}
+    crc = table_crc(names)
+    out_seg, in_seg = exchange
+    out_buf, in_buf = out_seg.buf, in_seg.buf
+    out_slots = out_seg.slots
+    encode_seconds = 0.0
+    engine = machine.engine
+
+    def inject(wire, origin, via_fallback, fast_keys):
+        decoded = decode_message(wire, machine.apps_by_gid)
+        if decoded is None:
+            flags.add("unresolvable-handler")
+            return
+        message, arrival = decoded
+        if via_fallback and (message.dst, arrival) in fast_keys:
+            # A fast-path and a fallback record share an arrival cycle
+            # at one destination: routing splits them across channels,
+            # so their monolithic send-order interleaving is lost.
+            flags.add("exchange-order-ambiguous")
+        fabric.inject_remote(message, arrival, origin)
 
     machine.start()
     epoch = 0
+    bound = lookahead - 1
     while True:
-        window_end = (epoch + 1) * lookahead - 1
-        if limit is not None and epoch * lookahead > limit:
+        if limit is not None and bound - lookahead + 1 > limit:
             raise RuntimeError(
                 f"shard {shard_index}: job {job.name} did not finish "
                 f"within {limit} cycles"
             )
-        before = machine.engine.events_executed
-        machine.engine.run(until=window_end)
-        executed = machine.engine.events_executed - before
-        encoded: List[Tuple[Any, int]] = []
+        before = engine.events_executed
+        engine.run(until=bound)
+        executed = engine.events_executed - before
+        started_encode = time.perf_counter()
+        packed = 0
+        fallback: List[Tuple[Any, int]] = []
         for arrival, message in fabric.take_outbox():
             wire = encode_message(message, arrival, machine.apps_by_gid)
             if wire is None:
                 flags.add("unresolvable-handler")
+            elif packed < out_slots and pack_record(
+                    out_buf, packed, wire, shard_index, index):
+                packed += 1
             else:
-                encoded.append((wire, shard_index))
-        conn.send(("epoch", epoch, encoded,
+                fallback.append((wire, shard_index))
+        encode_seconds += time.perf_counter() - started_encode
+        conn.send(("epoch", epoch, packed, fallback,
                    _local_done(job, local), fabric.in_flight_local(),
-                   executed))
+                   executed, engine.peek_time(),
+                   crc if epoch == 0 else None))
         reply = conn.recv()
         if reply[0] == "finish":
             break
-        inbound = reply[1]
-        for wire, origin in inbound:
-            decoded = decode_message(wire, machine.apps_by_gid)
-            if decoded is None:
-                flags.add("unresolvable-handler")
-                continue
-            message, arrival = decoded
-            fabric.inject_remote(message, arrival, origin)
+        _, inbound_records, fallback_in, bound = reply
+        fast_keys = set()
+        for slot in range(inbound_records):
+            wire, origin = unpack_record(in_buf, slot, names)
+            fast_keys.add((wire[1], wire[7]))  # (dst, arrival)
+            inject(wire, origin, False, fast_keys)
+        for entry in fallback_in:
+            if entry[0] == "raw":
+                wire, origin = unpack_record(entry[1], 0, names)
+            else:
+                _, wire, origin = entry
+            inject(wire, origin, True, fast_keys)
         epoch += 1
-    conn.send(("result", _harvest(machine, job, wall_started, flags)))
+    conn.send(("result",
+               _harvest(machine, job, wall_started, flags,
+                        windowed=True, encode_seconds=encode_seconds)))
 
 
 __all__ = ["shard_worker"]

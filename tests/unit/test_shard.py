@@ -20,9 +20,15 @@ from repro.machine.machine import Machine
 from repro.network.message import Message
 from repro.network.topology import MeshTopology
 from repro.shard import (
-    MIN_MESSAGE_WORDS, ShardMachine, decode_message, encode_message,
-    lookahead_for, min_cross_shard_latency, owner_of, partition_nodes,
-    run_sharded,
+    MIN_MESSAGE_WORDS, ExchangeSegment, ShardMachine, decode_message,
+    encode_message, handler_table, lookahead_for,
+    min_cross_shard_latency, next_window_bound, owner_of, pack_record,
+    partition_nodes, run_sharded, table_crc, unpack_record,
+    windows_coalesced,
+)
+from repro.shard.channel import (
+    MAX_FAST_PAYLOAD, RECORD_SIZE, copy_record, peek_arrival, peek_dst,
+    raw_record,
 )
 from repro.shard.coordinator import _occupancy_exceeded
 
@@ -139,6 +145,129 @@ class TestChannel:
         message = Message(dst=1, handler=lambda rt, msg: None,
                           payload=(), src=0, gid=5)
         assert encode_message(message, 10, {5: app}) is None
+
+
+class TestAdaptiveLookahead:
+    def test_dense_traffic_advances_one_window(self):
+        # Next event right at the old bound: the classic fixed window.
+        assert next_window_bound(99, [100, 250], [], 100) == 199
+
+    def test_idle_gap_jumps_the_bound(self):
+        # Nothing pending until cycle 5000: one barrier covers the gap
+        # instead of 49 empty fixed windows.
+        bound = next_window_bound(99, [5000, None], [], 100)
+        assert bound == 5099
+        assert windows_coalesced(99, bound, 100) == 49
+
+    def test_inbound_arrivals_anchor_the_bound(self):
+        # A message routed this barrier arrives before any local event;
+        # the window must not run past it without a barrier.
+        assert next_window_bound(99, [5000], [300], 100) == 399
+
+    def test_never_regresses(self):
+        # An arrival at/below the previous bound (already injected,
+        # about to execute) must still move the clock forward.
+        assert next_window_bound(500, [400], [], 100) == 501
+
+    def test_all_idle_is_none(self):
+        assert next_window_bound(99, [None, None], [], 100) is None
+
+    def test_coalesced_counts_skipped_static_windows(self):
+        assert windows_coalesced(0, 100, 100) == 0
+        assert windows_coalesced(0, 199, 100) == 0
+        assert windows_coalesced(0, 200, 100) == 1
+        assert windows_coalesced(0, 1000, 100) == 9
+
+
+class TestStructCodec:
+    def _wire(self, payload=(0, 17), bulk=False, name="_h_request"):
+        # (src, dst, gid, handler_name, payload, bulk, inject, arrival)
+        return (0, 2, 5, name, payload, bulk, 123, 456)
+
+    def _table(self):
+        app = SynthApplication(num_nodes=4)
+        names = handler_table({5: app})
+        return names, {name: i for i, name in enumerate(names)}
+
+    def test_round_trip(self):
+        names, index = self._table()
+        buf = bytearray(4 * RECORD_SIZE)
+        wire = self._wire()
+        assert pack_record(buf, 2, wire, origin=1, index=index)
+        encoded, origin = unpack_record(buf, 2, names)
+        assert encoded == wire
+        assert origin == 1
+        assert peek_dst(buf, 2) == 2
+        assert peek_arrival(buf, 2) == 456
+
+    def test_empty_and_full_payloads(self):
+        names, index = self._table()
+        buf = bytearray(2 * RECORD_SIZE)
+        for slot, payload in ((0, ()),
+                              (1, tuple(range(MAX_FAST_PAYLOAD)))):
+            wire = self._wire(payload=payload)
+            assert pack_record(buf, slot, wire, origin=0, index=index)
+            assert unpack_record(buf, slot, names)[0] == wire
+
+    def test_int64_extremes_round_trip(self):
+        names, index = self._table()
+        buf = bytearray(RECORD_SIZE)
+        wire = self._wire(payload=(-(1 << 63), (1 << 63) - 1))
+        assert pack_record(buf, 0, wire, origin=0, index=index)
+        assert unpack_record(buf, 0, names)[0] == wire
+
+    def test_fallback_shapes_refuse_the_fast_case(self):
+        names, index = self._table()
+        buf = bytearray(RECORD_SIZE)
+        rejects = [
+            self._wire(payload=(True,)),       # bool is not int here
+            self._wire(payload=(1.5,)),        # float
+            self._wire(payload=("gateway",)),  # string
+            self._wire(payload=(1 << 63,)),    # overflows int64
+            self._wire(payload=tuple(range(MAX_FAST_PAYLOAD + 1))),
+            self._wire(bulk=True),             # bulk body rides the pipe
+            self._wire(name="not_a_handler"),  # unknown to the table
+        ]
+        for wire in rejects:
+            assert not pack_record(buf, 0, wire, origin=0, index=index)
+
+    def test_handler_table_is_deterministic_across_replicas(self):
+        app = SynthApplication(num_nodes=4)
+        replica = SynthApplication(num_nodes=8, seed=9)
+        table_a = handler_table({5: app, 7: NullApplication()})
+        table_b = handler_table({5: replica, 7: NullApplication()})
+        assert table_a == table_b
+        assert table_a == sorted(table_a)
+        assert table_crc(table_a) == table_crc(table_b)
+
+    def test_crc_is_order_and_content_sensitive(self):
+        assert table_crc(["a", "b"]) != table_crc(["b", "a"])
+        assert table_crc(["a", "b"]) != table_crc(["ab"])
+        assert table_crc(["a", "b"]) != table_crc(["a", "b", "c"])
+
+    def test_copy_and_raw_record_preserve_bytes(self):
+        names, index = self._table()
+        src_buf = bytearray(RECORD_SIZE)
+        dst_buf = bytearray(3 * RECORD_SIZE)
+        wire = self._wire(payload=(7, 8, 9))
+        assert pack_record(src_buf, 0, wire, origin=1, index=index)
+        copy_record(src_buf, 0, dst_buf, 1)
+        assert unpack_record(dst_buf, 1, names) == (wire, 1)
+        detached = raw_record(src_buf, 0)
+        assert detached == bytes(src_buf[:RECORD_SIZE])
+        assert isinstance(detached, bytes)
+
+    def test_exchange_segment_lifecycle(self):
+        names, index = self._table()
+        segment = ExchangeSegment(slots=4)
+        try:
+            wire = self._wire()
+            assert pack_record(segment.buf, 3, wire, origin=0,
+                               index=index)
+            assert unpack_record(segment.buf, 3, names) == (wire, 0)
+        finally:
+            segment.destroy()
+        assert segment.buf is None
 
 
 class TestCrossShardFifo:
